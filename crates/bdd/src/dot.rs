@@ -1,0 +1,92 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::Bdd;
+
+/// Renders a set of labelled roots as a Graphviz `digraph`.
+///
+/// Solid edges are `high` (then) edges, dashed edges are `low` (else) edges;
+/// variable nodes are labelled with a caller-supplied name via `var_name`
+/// (e.g. the flip-flop name a state variable encodes).
+///
+/// # Panics
+///
+/// Panics if the roots belong to different managers.
+pub fn to_dot(roots: &[(&str, &Bdd)], var_name: impl Fn(crate::VarId) -> String) -> String {
+    let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+    let _ = writeln!(out, "  t1 [shape=box,label=\"1\"];");
+    let _ = writeln!(out, "  t0 [shape=box,label=\"0\"];");
+
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut stack: Vec<Bdd> = Vec::new();
+    for (label, root) in roots {
+        let id = root_id(root);
+        let _ = writeln!(out, "  r_{label} [shape=plaintext,label=\"{label}\"];");
+        let _ = writeln!(out, "  r_{label} -> {};", dot_id(id));
+        stack.push((*root).clone());
+    }
+    while let Some(b) = stack.pop() {
+        let id = root_id(&b);
+        if id <= 1 || !seen.insert(id) {
+            continue;
+        }
+        let (v, lo, hi) = b.root_triple().expect("non-terminal");
+        let _ = writeln!(out, "  {} [label=\"{}\"];", dot_id(id), var_name(v));
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style=dashed];",
+            dot_id(id),
+            dot_id(root_id(&lo))
+        );
+        let _ = writeln!(out, "  {} -> {};", dot_id(id), dot_id(root_id(&hi)));
+        stack.push(lo);
+        stack.push(hi);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn root_id(b: &Bdd) -> u32 {
+    b.raw_root()
+}
+
+fn dot_id(id: u32) -> String {
+    match id {
+        0 => "t0".to_owned(),
+        1 => "t1".to_owned(),
+        n => format!("n{n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BddManager;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let f = x.xor(&y).unwrap();
+        let dot = to_dot(&[("f", &f)], |v| format!("x{}", v.index()));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("t0"));
+        assert!(dot.contains("t1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("r_f"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn constant_root() {
+        let m = BddManager::new();
+        let one = m.one();
+        let dot = to_dot(&[("one", &one)], |v| v.to_string());
+        assert!(dot.contains("r_one -> t1"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type of the BDD package.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by BDD operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BddError {
+    /// The operation would grow the manager past its configured live-node
+    /// limit (see [`crate::BddManager::set_node_limit`]). The caller may
+    /// garbage-collect and retry, raise the limit, or — as the hybrid fault
+    /// simulator does — fall back to three-valued simulation.
+    NodeLimit {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit } => {
+                write!(f, "live BDD node limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl Error for BddError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = BddError::NodeLimit { limit: 30000 };
+        assert_eq!(e.to_string(), "live BDD node limit of 30000 exceeded");
+    }
+}

@@ -1,0 +1,54 @@
+//! An Ordered Binary Decision Diagram (OBDD) package.
+//!
+//! This is a from-scratch implementation of Bryant-style reduced ordered
+//! BDDs, written as the symbolic substrate of the motsim fault simulator:
+//!
+//! - hash-consed unique table → canonical form (`f == g` is pointer equality),
+//! - recursive ITE with a computed cache,
+//! - reference-counted external handles ([`Bdd`]) + mark-sweep [garbage
+//!   collection](BddManager::gc),
+//! - a configurable **live-node limit** ([`BddManager::set_node_limit`]) —
+//!   the mechanism behind the paper's hybrid fault simulator (operations
+//!   return [`BddError::NodeLimit`] when the limit would be exceeded),
+//! - [monotone variable renaming](Bdd::rename) (a single linear traversal;
+//!   used for the MOT substitution `x_i → y_i` under an interleaved order),
+//! - [compose](Bdd::compose), [quantification](Bdd::exists), restriction,
+//!   evaluation, satisfy-count, DOT export.
+//!
+//! The variable order is the creation order of [`BddManager::new_var`];
+//! dynamic reordering is intentionally out of scope (the paper's package
+//! has a fixed order too).
+//!
+//! Managers and handles are single-threaded by design (`!Send`/`!Sync` —
+//! they share one reference-counted node store); run one manager per
+//! thread for parallel workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use motsim_bdd::BddManager;
+//!
+//! # fn main() -> Result<(), motsim_bdd::BddError> {
+//! let mgr = BddManager::new();
+//! let x = mgr.new_var();
+//! let y = mgr.new_var();
+//! // (x ∧ y) ∨ ¬x  ==  x → y
+//! let f = x.and(&y)?.or(&x.not()?)?;
+//! let g = x.not()?.or(&y)?;
+//! assert_eq!(f, g); // canonical form: semantic equality is handle equality
+//! assert!(!f.is_const());
+//! # Ok(())
+//! # }
+//! ```
+
+mod dot;
+mod error;
+mod handle;
+mod manager;
+mod sat;
+
+pub use dot::to_dot;
+pub use error::BddError;
+pub use handle::Bdd;
+pub use manager::{BddManager, BddStats, VarId};
+pub use sat::{equiv_product, product};

@@ -1,0 +1,845 @@
+//! The BDD manager: node storage, unique table, ITE, GC, node limit.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::BddError;
+use crate::handle::Bdd;
+
+/// Identifier of a BDD variable.
+///
+/// Variables are totally ordered by creation order ([`BddManager::new_var`]);
+/// the order is fixed for the lifetime of the manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The dense index (= order level) of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `VarId` from a dense index.
+    ///
+    /// Using an index that has not been allocated by the manager the id is
+    /// passed to causes a panic there.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        VarId(i as u32)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+pub(crate) const FALSE: u32 = 0;
+pub(crate) const TRUE: u32 = 1;
+/// Level of terminal nodes: below every variable.
+const TERM_LEVEL: u32 = u32::MAX;
+/// `var` tag for free (swept) slots.
+const FREE_SLOT: u32 = u32::MAX - 1;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    low: u32,
+    high: u32,
+}
+
+/// Aggregate statistics of a [`BddManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddStats {
+    /// Currently live internal nodes (excluding the two terminals).
+    pub live_nodes: usize,
+    /// High-water mark of `live_nodes`.
+    pub peak_live_nodes: usize,
+    /// Number of variables created.
+    pub num_vars: usize,
+    /// Garbage collections performed.
+    pub gc_runs: u64,
+    /// Entries currently in the ITE computed cache.
+    pub cache_entries: usize,
+}
+
+pub(crate) struct Inner {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    free: Vec<u32>,
+    ext: HashMap<u32, usize>,
+    nvars: u32,
+    limit: Option<usize>,
+    live: usize,
+    peak_live: usize,
+    gc_runs: u64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        let nodes = vec![
+            Node {
+                var: TERM_LEVEL,
+                low: FALSE,
+                high: FALSE,
+            },
+            Node {
+                var: TERM_LEVEL,
+                low: TRUE,
+                high: TRUE,
+            },
+        ];
+        Inner {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            free: Vec::new(),
+            ext: HashMap::new(),
+            nvars: 0,
+            limit: None,
+            live: 0,
+            peak_live: 0,
+            gc_runs: 0,
+        }
+    }
+
+    #[inline]
+    fn level(&self, n: u32) -> u32 {
+        self.nodes[n as usize].var
+    }
+
+    #[inline]
+    fn cofactor(&self, n: u32, v: u32) -> (u32, u32) {
+        let node = self.nodes[n as usize];
+        if node.var == v {
+            (node.low, node.high)
+        } else {
+            (n, n)
+        }
+    }
+
+    fn make_node(&mut self, var: u32, low: u32, high: u32) -> Result<u32, BddError> {
+        if low == high {
+            return Ok(low);
+        }
+        debug_assert!(
+            self.level(low) > var && self.level(high) > var,
+            "order violated"
+        );
+        let key = (var, low, high);
+        if let Some(&n) = self.unique.get(&key) {
+            return Ok(n);
+        }
+        if let Some(limit) = self.limit {
+            if self.live >= limit {
+                return Err(BddError::NodeLimit { limit });
+            }
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = Node { var, low, high };
+                id
+            }
+            None => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(Node { var, low, high });
+                id
+            }
+        };
+        self.unique.insert(key, id);
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        Ok(id)
+    }
+
+    /// Allocates a fresh variable and returns its literal node (never subject
+    /// to the node limit: two-node literals are what makes recovery from a
+    /// limit hit possible at all).
+    fn new_var(&mut self) -> (u32, u32) {
+        let var = self.nvars;
+        self.nvars += 1;
+        let saved = self.limit.take();
+        let lit = self
+            .make_node(var, FALSE, TRUE)
+            .expect("literal creation is unlimited");
+        self.limit = saved;
+        (var, lit)
+    }
+
+    fn var_lit(&mut self, var: u32, positive: bool) -> u32 {
+        assert!(var < self.nvars, "variable v{var} was never created");
+        let saved = self.limit.take();
+        let r = if positive {
+            self.make_node(var, FALSE, TRUE)
+        } else {
+            self.make_node(var, TRUE, FALSE)
+        }
+        .expect("literal creation is unlimited");
+        self.limit = saved;
+        r
+    }
+
+    pub(crate) fn ite(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
+        // Terminal cases.
+        if f == TRUE {
+            return Ok(g);
+        }
+        if f == FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == TRUE && h == FALSE {
+            return Ok(f);
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return Ok(r);
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactor(f, top);
+        let (g0, g1) = self.cofactor(g, top);
+        let (h0, h1) = self.cofactor(h, top);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.make_node(top, lo, hi)?;
+        self.ite_cache.insert(key, r);
+        Ok(r)
+    }
+
+    pub(crate) fn not(&mut self, f: u32) -> Result<u32, BddError> {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    pub(crate) fn and(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
+        self.ite(f, g, FALSE)
+    }
+
+    pub(crate) fn or(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
+        self.ite(f, TRUE, g)
+    }
+
+    pub(crate) fn xor(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    pub(crate) fn xnor(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    pub(crate) fn implies(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
+        self.ite(f, g, TRUE)
+    }
+
+    pub(crate) fn restrict(&mut self, f: u32, var: u32, val: bool) -> Result<u32, BddError> {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, var, val, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: u32,
+        var: u32,
+        val: bool,
+        memo: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
+        let lvl = self.level(f);
+        if lvl > var {
+            return Ok(f); // var cannot occur below (ordered)
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let r = if lvl == var {
+            if val {
+                node.high
+            } else {
+                node.low
+            }
+        } else {
+            let lo = self.restrict_rec(node.low, var, val, memo)?;
+            let hi = self.restrict_rec(node.high, var, val, memo)?;
+            self.make_node(node.var, lo, hi)?
+        };
+        memo.insert(f, r);
+        Ok(r)
+    }
+
+    pub(crate) fn compose(&mut self, f: u32, var: u32, g: u32) -> Result<u32, BddError> {
+        let mut memo = HashMap::new();
+        self.compose_rec(f, var, g, &mut memo)
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: u32,
+        var: u32,
+        g: u32,
+        memo: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
+        let lvl = self.level(f);
+        if lvl > var {
+            return Ok(f);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let r = if lvl == var {
+            self.ite(g, node.high, node.low)?
+        } else {
+            let lo = self.compose_rec(node.low, var, g, memo)?;
+            let hi = self.compose_rec(node.high, var, g, memo)?;
+            // The composed children may depend on variables above node.var,
+            // so rebuild with ITE on the literal rather than make_node.
+            let lit = self.var_lit(node.var, true);
+            self.ite(lit, hi, lo)?
+        };
+        memo.insert(f, r);
+        Ok(r)
+    }
+
+    /// Renames variables according to `map` (var → var), which must be
+    /// strictly order-preserving on the support of `f` (checked by the
+    /// caller). A single linear traversal.
+    pub(crate) fn rename(&mut self, f: u32, map: &HashMap<u32, u32>) -> Result<u32, BddError> {
+        let mut memo = HashMap::new();
+        self.rename_rec(f, map, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: u32,
+        map: &HashMap<u32, u32>,
+        memo: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
+        if f <= TRUE {
+            return Ok(f);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let lo = self.rename_rec(node.low, map, memo)?;
+        let hi = self.rename_rec(node.high, map, memo)?;
+        let var = map.get(&node.var).copied().unwrap_or(node.var);
+        let r = self.make_node(var, lo, hi)?;
+        memo.insert(f, r);
+        Ok(r)
+    }
+
+    pub(crate) fn exists(&mut self, f: u32, vars: &[u32]) -> Result<u32, BddError> {
+        let mut sorted: Vec<u32> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = HashMap::new();
+        self.exists_rec(f, &sorted, &mut memo)
+    }
+
+    fn exists_rec(
+        &mut self,
+        f: u32,
+        vars: &[u32],
+        memo: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
+        if f <= TRUE {
+            return Ok(f);
+        }
+        let lvl = self.level(f);
+        // Drop quantified vars above the current level; if none remain at or
+        // below, f is unchanged.
+        let rest: &[u32] = {
+            let start = vars.partition_point(|&v| v < lvl);
+            &vars[start..]
+        };
+        if rest.is_empty() {
+            return Ok(f);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let r = if rest[0] == lvl {
+            let lo = self.exists_rec(node.low, rest, memo)?;
+            let hi = self.exists_rec(node.high, rest, memo)?;
+            self.or(lo, hi)?
+        } else {
+            let lo = self.exists_rec(node.low, rest, memo)?;
+            let hi = self.exists_rec(node.high, rest, memo)?;
+            self.make_node(node.var, lo, hi)?
+        };
+        memo.insert(f, r);
+        Ok(r)
+    }
+
+    pub(crate) fn support(&self, f: u32) -> Vec<u32> {
+        let mut seen = HashMap::new();
+        let mut vars = Vec::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n <= TRUE || seen.contains_key(&n) {
+                continue;
+            }
+            seen.insert(n, ());
+            let node = self.nodes[n as usize];
+            vars.push(node.var);
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    pub(crate) fn size(&self, roots: &[u32]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<u32> = roots.to_vec();
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n <= TRUE || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.nodes[n as usize];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        count
+    }
+
+    pub(crate) fn eval(&self, f: u32, assignment: &[bool]) -> bool {
+        let mut n = f;
+        while n > TRUE {
+            let node = self.nodes[n as usize];
+            let v = node.var as usize;
+            assert!(
+                v < assignment.len(),
+                "assignment too short: needs variable v{v}"
+            );
+            n = if assignment[v] { node.high } else { node.low };
+        }
+        n == TRUE
+    }
+
+    pub(crate) fn sat_count(&self, f: u32, nvars: u32) -> u128 {
+        assert!(nvars >= self.min_var_bound(f), "nvars below support of f");
+        fn shl_sat(x: u128, s: u32) -> u128 {
+            if x == 0 {
+                0
+            } else if s >= x.leading_zeros() {
+                u128::MAX
+            } else {
+                x << s
+            }
+        }
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        fn rec(inner: &Inner, n: u32, nvars: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+            if n == FALSE {
+                return 0;
+            }
+            if n == TRUE {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&n) {
+                return c;
+            }
+            let node = inner.nodes[n as usize];
+            let lvl_lo = inner.level(node.low).min(nvars);
+            let lvl_hi = inner.level(node.high).min(nvars);
+            let cl = rec(inner, node.low, nvars, memo);
+            let ch = rec(inner, node.high, nvars, memo);
+            let c = shl_sat(cl, lvl_lo - node.var - 1)
+                .saturating_add(shl_sat(ch, lvl_hi - node.var - 1));
+            memo.insert(n, c);
+            c
+        }
+        let top = self.level(f).min(nvars);
+        shl_sat(rec(self, f, nvars, &mut memo), top)
+    }
+
+    fn min_var_bound(&self, f: u32) -> u32 {
+        self.support(f).last().map(|&v| v + 1).unwrap_or(0)
+    }
+
+    pub(crate) fn any_sat(&self, f: u32) -> Option<Vec<(u32, bool)>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut n = f;
+        while n > TRUE {
+            let node = self.nodes[n as usize];
+            if node.high != FALSE {
+                path.push((node.var, true));
+                n = node.high;
+            } else {
+                path.push((node.var, false));
+                n = node.low;
+            }
+        }
+        debug_assert_eq!(n, TRUE);
+        Some(path)
+    }
+
+    pub(crate) fn inc_ext(&mut self, n: u32) {
+        if n > TRUE {
+            *self.ext.entry(n).or_insert(0) += 1;
+        }
+    }
+
+    pub(crate) fn dec_ext(&mut self, n: u32) {
+        if n > TRUE {
+            match self.ext.get_mut(&n) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.ext.remove(&n);
+                }
+                None => debug_assert!(false, "unbalanced ext deref"),
+            }
+        }
+    }
+
+    fn gc(&mut self) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[FALSE as usize] = true;
+        marked[TRUE as usize] = true;
+        let mut stack: Vec<u32> = self.ext.keys().copied().collect();
+        while let Some(n) = stack.pop() {
+            let i = n as usize;
+            if marked[i] {
+                continue;
+            }
+            marked[i] = true;
+            let node = self.nodes[i];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        let mut freed = 0;
+        #[allow(clippy::needless_range_loop)] // index used for both tables
+        for i in 2..self.nodes.len() {
+            if !marked[i] && self.nodes[i].var != FREE_SLOT {
+                let node = self.nodes[i];
+                self.unique.remove(&(node.var, node.low, node.high));
+                self.nodes[i].var = FREE_SLOT;
+                self.free.push(i as u32);
+                freed += 1;
+            }
+        }
+        self.live -= freed;
+        self.ite_cache.clear();
+        self.gc_runs += 1;
+        freed
+    }
+
+    pub(crate) fn node_triple(&self, n: u32) -> Option<(u32, u32, u32)> {
+        if n <= TRUE {
+            None
+        } else {
+            let node = self.nodes[n as usize];
+            Some((node.var, node.low, node.high))
+        }
+    }
+}
+
+/// A shared, single-threaded BDD node store.
+///
+/// Cloning a `BddManager` is cheap and yields another handle to the *same*
+/// store (managers are reference-counted internally). All [`Bdd`]s created
+/// through a manager (or its clones) live in that store; combining BDDs from
+/// different stores panics.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Clone)]
+pub struct BddManager {
+    pub(crate) inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.stats();
+        f.debug_struct("BddManager")
+            .field("vars", &st.num_vars)
+            .field("live_nodes", &st.live_nodes)
+            .finish()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager with no variables and no node limit.
+    pub fn new() -> Self {
+        BddManager {
+            inner: Rc::new(RefCell::new(Inner::new())),
+        }
+    }
+
+    /// Creates a manager with `n` variables pre-allocated.
+    pub fn with_vars(n: usize) -> Self {
+        let m = Self::new();
+        for _ in 0..n {
+            m.new_var();
+        }
+        m
+    }
+
+    pub(crate) fn wrap(&self, root: u32) -> Bdd {
+        self.inner.borrow_mut().inc_ext(root);
+        Bdd {
+            mgr: self.clone(),
+            root,
+        }
+    }
+
+    /// The constant ⊥.
+    pub fn zero(&self) -> Bdd {
+        self.wrap(FALSE)
+    }
+
+    /// The constant ⊤.
+    pub fn one(&self) -> Bdd {
+        self.wrap(TRUE)
+    }
+
+    /// The constant for `b`.
+    pub fn constant(&self, b: bool) -> Bdd {
+        if b {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    /// Allocates a fresh variable (ordered after all existing ones) and
+    /// returns its positive literal.
+    pub fn new_var(&self) -> Bdd {
+        let (_, lit) = self.inner.borrow_mut().new_var();
+        self.wrap(lit)
+    }
+
+    /// The positive literal of an existing variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never created by this manager.
+    pub fn var(&self, v: VarId) -> Bdd {
+        let lit = self.inner.borrow_mut().var_lit(v.0, true);
+        self.wrap(lit)
+    }
+
+    /// The negative literal of an existing variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never created by this manager.
+    pub fn nvar(&self, v: VarId) -> Bdd {
+        let lit = self.inner.borrow_mut().var_lit(v.0, false);
+        self.wrap(lit)
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.inner.borrow().nvars as usize
+    }
+
+    /// Sets (or clears) the live-node limit. Operations that would allocate
+    /// past the limit fail with [`BddError::NodeLimit`]; literal creation is
+    /// exempt. The paper's experiments use a limit of 30,000 nodes.
+    pub fn set_node_limit(&self, limit: Option<usize>) {
+        self.inner.borrow_mut().limit = limit;
+    }
+
+    /// The configured live-node limit, if any.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.inner.borrow().limit
+    }
+
+    /// Currently live internal nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.inner.borrow().live
+    }
+
+    /// Runs a mark-sweep garbage collection from the externally referenced
+    /// roots; returns the number of nodes reclaimed. The computed cache is
+    /// cleared.
+    pub fn gc(&self) -> usize {
+        self.inner.borrow_mut().gc()
+    }
+
+    /// Number of distinct internal nodes reachable from any of `roots`
+    /// (shared size of a function vector; Table IV's "BDD size").
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root belongs to a different manager.
+    pub fn shared_size(&self, roots: &[&Bdd]) -> usize {
+        let ids: Vec<u32> = roots
+            .iter()
+            .map(|b| {
+                assert!(self.same_store(&b.mgr), "BDD from a different manager");
+                b.root
+            })
+            .collect();
+        self.inner.borrow().size(&ids)
+    }
+
+    /// Manager statistics snapshot.
+    pub fn stats(&self) -> BddStats {
+        let inner = self.inner.borrow();
+        BddStats {
+            live_nodes: inner.live,
+            peak_live_nodes: inner.peak_live,
+            num_vars: inner.nvars as usize,
+            gc_runs: inner.gc_runs,
+            cache_entries: inner.ite_cache.len(),
+        }
+    }
+
+    pub(crate) fn same_store(&self, other: &BddManager) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_distinct_constants() {
+        let m = BddManager::new();
+        assert!(m.one().is_true());
+        assert!(m.zero().is_false());
+        assert_ne!(m.one(), m.zero());
+        assert_eq!(m.constant(true), m.one());
+    }
+
+    #[test]
+    fn canonical_hash_consing() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let f1 = x.and(&y).unwrap();
+        let f2 = y.and(&x).unwrap();
+        assert_eq!(f1, f2);
+        let g = x.or(&y).unwrap().not().unwrap();
+        let h = x.not().unwrap().and(&y.not().unwrap()).unwrap();
+        assert_eq!(g, h); // De Morgan, canonically
+    }
+
+    #[test]
+    fn node_limit_enforced_and_recoverable() {
+        let m = BddManager::new();
+        let vars: Vec<Bdd> = (0..16).map(|_| m.new_var()).collect();
+        m.set_node_limit(Some(8));
+        // Parity of 16 vars needs ~31 nodes: must fail.
+        let mut acc = m.zero();
+        let mut failed = false;
+        for v in &vars {
+            match acc.xor(v) {
+                Ok(n) => acc = n,
+                Err(BddError::NodeLimit { limit }) => {
+                    assert_eq!(limit, 8);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed);
+        // Raising the limit lets the same computation finish.
+        m.set_node_limit(Some(100_000));
+        let mut acc = m.zero();
+        for v in &vars {
+            acc = acc.xor(v).unwrap();
+        }
+        assert!(!acc.is_const());
+    }
+
+    #[test]
+    fn gc_reclaims_dead_nodes() {
+        let m = BddManager::new();
+        let vars: Vec<Bdd> = (0..10).map(|_| m.new_var()).collect();
+        let before;
+        {
+            let mut acc = m.one();
+            for v in &vars {
+                acc = acc.and(v).unwrap();
+            }
+            before = m.live_nodes();
+            assert!(before >= 10);
+            // acc dropped here
+        }
+        let freed = m.gc();
+        assert!(freed > 0);
+        assert!(m.live_nodes() < before);
+        // Literals are still externally referenced via `vars`.
+        assert!(m.live_nodes() >= 10);
+    }
+
+    #[test]
+    fn gc_preserves_live_functions() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let f = x.xor(&y).unwrap();
+        let junk = x.and(&y).unwrap().or(&x).unwrap();
+        drop(junk);
+        m.gc();
+        // f still evaluates correctly after GC.
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        // And new operations still find canonical forms.
+        let g = y.xor(&x).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn stats_track_peak_and_gc() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let _f = x.and(&y).unwrap();
+        let st = m.stats();
+        assert_eq!(st.num_vars, 2);
+        assert!(st.live_nodes >= 3);
+        assert!(st.peak_live_nodes >= st.live_nodes);
+        m.gc();
+        assert_eq!(m.stats().gc_runs, 1);
+    }
+
+    #[test]
+    fn clone_shares_store() {
+        let m = BddManager::new();
+        let m2 = m.clone();
+        let x = m.new_var();
+        let y = m2.new_var();
+        let f = x.and(&y).unwrap(); // cross-clone op works
+        assert_eq!(f.manager().num_vars(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never created")]
+    fn unknown_var_panics() {
+        let m = BddManager::new();
+        m.var(VarId(3));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = BddManager::new();
+        assert!(!format!("{m:?}").is_empty());
+        assert!(!format!("{}", VarId(2)).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Extra satisfiability-oriented utilities on BDD vectors.
+//!
+//! These helpers operate on *vectors* of functions, which the fault
+//! simulator manipulates constantly (state vectors, output vectors).
+
+use crate::{Bdd, BddError};
+
+/// Conjunction of a sequence of functions; the empty product is ⊤ of `mgr`.
+///
+/// This is the `∏` of the paper's detection-function definitions. The fold
+/// short-circuits on ⊥ (a detected fault) to avoid useless work.
+///
+/// # Errors
+///
+/// Fails with [`BddError::NodeLimit`] if the manager's node limit is hit.
+///
+/// # Panics
+///
+/// Panics if the functions belong to different managers.
+pub fn product(mgr: &crate::BddManager, terms: &[Bdd]) -> Result<Bdd, BddError> {
+    let mut acc = mgr.one();
+    for t in terms {
+        if acc.is_false() {
+            break;
+        }
+        acc = acc.and(t)?;
+    }
+    Ok(acc)
+}
+
+/// Pointwise equivalence product `∏_i [a_i ≡ b_i]` of two equal-length
+/// function vectors — the inner loop of MOT/rMOT detection updates and of
+/// symbolic test evaluation.
+///
+/// # Errors
+///
+/// Fails with [`BddError::NodeLimit`] if the manager's node limit is hit.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or mix managers.
+pub fn equiv_product(mgr: &crate::BddManager, a: &[Bdd], b: &[Bdd]) -> Result<Bdd, BddError> {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    let mut acc = mgr.one();
+    for (x, y) in a.iter().zip(b) {
+        if acc.is_false() {
+            break;
+        }
+        let eq = x.equiv(y)?;
+        acc = acc.and(&eq)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BddManager;
+
+    #[test]
+    fn empty_product_is_one() {
+        let m = BddManager::new();
+        assert!(product(&m, &[]).unwrap().is_true());
+    }
+
+    #[test]
+    fn product_conjunctions() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let p = product(&m, &[x.clone(), y.clone()]).unwrap();
+        assert_eq!(p, x.and(&y).unwrap());
+        let q = product(&m, &[x.clone(), x.not().unwrap(), y.clone()]).unwrap();
+        assert!(q.is_false());
+    }
+
+    #[test]
+    fn equiv_product_matches_manual() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // [x ≡ ¬y]·[x ≡ y] ≡ 0 — the paper's Fig. 3 detection function.
+        let a = vec![x.clone(), x.clone()];
+        let b = vec![y.not().unwrap(), y.clone()];
+        let d = equiv_product(&m, &a, &b).unwrap();
+        assert!(d.is_false());
+        // [x ≡ y] alone is satisfiable.
+        let d2 = equiv_product(&m, &a[..1], &b[1..]).unwrap();
+        assert!(!d2.is_false());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn equiv_product_length_mismatch() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let _ = equiv_product(&m, std::slice::from_ref(&x), &[]);
+    }
+}

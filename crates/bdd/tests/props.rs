@@ -1,0 +1,217 @@
+//! Property-based tests of the BDD package: canonical form and operator
+//! semantics are validated against brute-force truth tables on random
+//! expressions.
+
+use motsim_bdd::{Bdd, BddManager, VarId};
+use proptest::prelude::*;
+
+/// A random Boolean expression over `n` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(nvars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+        ]
+    })
+}
+
+fn build(mgr: &BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(i) => mgr.var(VarId::from_index(*i)),
+        Expr::Const(b) => mgr.constant(*b),
+        Expr::Not(a) => build(mgr, a).not().unwrap(),
+        Expr::And(a, b) => build(mgr, a).and(&build(mgr, b)).unwrap(),
+        Expr::Or(a, b) => build(mgr, a).or(&build(mgr, b)).unwrap(),
+        Expr::Xor(a, b) => build(mgr, a).xor(&build(mgr, b)).unwrap(),
+        Expr::Ite(a, b, c) => build(mgr, a).ite(&build(mgr, b), &build(mgr, c)).unwrap(),
+    }
+}
+
+fn eval(e: &Expr, assignment: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => assignment[*i],
+        Expr::Const(b) => *b,
+        Expr::Not(a) => !eval(a, assignment),
+        Expr::And(a, b) => eval(a, assignment) & eval(b, assignment),
+        Expr::Or(a, b) => eval(a, assignment) | eval(b, assignment),
+        Expr::Xor(a, b) => eval(a, assignment) ^ eval(b, assignment),
+        Expr::Ite(a, b, c) => {
+            if eval(a, assignment) {
+                eval(b, assignment)
+            } else {
+                eval(c, assignment)
+            }
+        }
+    }
+}
+
+const NVARS: usize = 5;
+
+fn all_assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << NVARS)).map(|k| (0..NVARS).map(|i| (k >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    /// The BDD of an expression computes exactly its truth table.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        for a in all_assignments() {
+            prop_assert_eq!(f.eval(&a), eval(&e, &a));
+        }
+    }
+
+    /// Canonicity: two expressions are semantically equal iff their BDD
+    /// handles are equal.
+    #[test]
+    fn canonical_equality(e1 in arb_expr(NVARS), e2 in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f1 = build(&mgr, &e1);
+        let f2 = build(&mgr, &e2);
+        let sem_eq = all_assignments().all(|a| eval(&e1, &a) == eval(&e2, &a));
+        prop_assert_eq!(f1 == f2, sem_eq);
+    }
+
+    /// sat_count equals the number of satisfying rows of the truth table.
+    #[test]
+    fn sat_count_is_exact(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        let expect = all_assignments().filter(|a| eval(&e, a)).count() as u128;
+        prop_assert_eq!(f.sat_count(NVARS), expect);
+    }
+
+    /// any_sat returns a genuine witness exactly when one exists.
+    #[test]
+    fn any_sat_is_a_witness(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        match f.any_sat() {
+            None => prop_assert!(all_assignments().all(|a| !eval(&e, &a))),
+            Some(path) => {
+                let mut a = vec![false; NVARS];
+                for (v, b) in path {
+                    a[v.index()] = b;
+                }
+                prop_assert!(f.eval(&a));
+            }
+        }
+    }
+
+    /// Shannon expansion: f = (x ∧ f|x=1) ∨ (¬x ∧ f|x=0) for every variable.
+    #[test]
+    fn shannon_expansion(e in arb_expr(NVARS), v in 0..NVARS) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        let x = mgr.var(VarId::from_index(v));
+        let f1 = f.restrict(VarId::from_index(v), true).unwrap();
+        let f0 = f.restrict(VarId::from_index(v), false).unwrap();
+        let rebuilt = x.and(&f1).unwrap().or(&x.not().unwrap().and(&f0).unwrap()).unwrap();
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    /// compose(v, g) equals substitution at the truth-table level.
+    #[test]
+    fn compose_is_substitution(e in arb_expr(NVARS), g in arb_expr(NVARS), v in 0..NVARS) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        let gb = build(&mgr, &g);
+        let composed = f.compose(VarId::from_index(v), &gb).unwrap();
+        for a in all_assignments() {
+            let mut a2 = a.clone();
+            a2[v] = eval(&g, &a);
+            prop_assert_eq!(composed.eval(&a), eval(&e, &a2));
+        }
+    }
+
+    /// Existential quantification equals the OR of both cofactors.
+    #[test]
+    fn exists_is_disjunction_of_cofactors(e in arb_expr(NVARS), v in 0..NVARS) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        let vid = VarId::from_index(v);
+        let ex = f.exists(&[vid]).unwrap();
+        let or = f.restrict(vid, true).unwrap().or(&f.restrict(vid, false).unwrap()).unwrap();
+        prop_assert_eq!(ex, or);
+        // And forall is the AND.
+        let fa = f.forall(&[vid]).unwrap();
+        let and = f.restrict(vid, true).unwrap().and(&f.restrict(vid, false).unwrap()).unwrap();
+        prop_assert_eq!(fa, and);
+    }
+
+    /// A monotone rename (shift into odd positions) preserves semantics
+    /// modulo reindexing.
+    #[test]
+    fn rename_preserves_semantics(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(2 * NVARS);
+        let f = build(&mgr, &e);
+        let map: Vec<(VarId, VarId)> = (0..NVARS)
+            .map(|i| (VarId::from_index(i), VarId::from_index(NVARS + i)))
+            .collect();
+        let g = f.rename(&map).unwrap();
+        for a in all_assignments() {
+            let mut wide = vec![false; 2 * NVARS];
+            wide[NVARS..].copy_from_slice(&a);
+            prop_assert_eq!(g.eval(&wide), eval(&e, &a));
+        }
+    }
+
+    /// Garbage collection never changes live functions.
+    #[test]
+    fn gc_preserves_live_functions(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        // Create and drop garbage.
+        for i in 0..NVARS {
+            let junk = f.xor(&mgr.var(VarId::from_index(i))).unwrap();
+            drop(junk);
+        }
+        mgr.gc();
+        for a in all_assignments() {
+            prop_assert_eq!(f.eval(&a), eval(&e, &a));
+        }
+    }
+
+    /// The support is exactly the set of variables the function depends on.
+    #[test]
+    fn support_is_exact(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        let support = f.support();
+        for v in 0..NVARS {
+            let depends = all_assignments().any(|mut a| {
+                let r0 = eval(&e, &a);
+                a[v] = !a[v];
+                eval(&e, &a) != r0
+            });
+            prop_assert_eq!(
+                support.contains(&VarId::from_index(v)),
+                depends,
+                "variable {} support mismatch", v
+            );
+        }
+    }
+}

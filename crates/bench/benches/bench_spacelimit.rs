@@ -1,0 +1,41 @@
+//! Ablation: the hybrid simulator's node-limit sweep — the accuracy/time
+//! trade-off behind the paper's s838.1 anomaly (a tighter limit forces
+//! more three-valued fallback, which is faster but less accurate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use motsim::faults::{Fault, FaultList};
+use motsim::hybrid::{hybrid_run, HybridConfig};
+use motsim::pattern::TestSequence;
+use motsim::sim3::FaultSim3;
+use motsim::symbolic::Strategy;
+
+fn bench_spacelimit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spacelimit");
+    g.sample_size(10);
+    let netlist = motsim_circuits::suite::by_name("g420").unwrap();
+    let faults = FaultList::collapsed(&netlist);
+    let seq = TestSequence::random(&netlist, 60, 1);
+    let three = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
+    let hard: Vec<Fault> = three.undetected_faults().collect();
+    for limit in [500usize, 2_000, 30_000] {
+        g.bench_function(format!("mot_limit_{limit}"), |b| {
+            b.iter(|| {
+                hybrid_run(
+                    &netlist,
+                    Strategy::Mot,
+                    &seq,
+                    hard.iter().cloned(),
+                    HybridConfig {
+                        node_limit: limit,
+                        fallback_frames: 8,
+                    },
+                )
+                .num_detected()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spacelimit);
+criterion_main!(benches);

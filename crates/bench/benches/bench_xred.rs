@@ -1,0 +1,42 @@
+//! Table I as a benchmark: three-valued fault simulation with and without
+//! the `ID_X-red` pre-pass, plus the pre-pass itself (whose run time the
+//! paper calls "negligible").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use motsim::faults::FaultList;
+use motsim::pattern::TestSequence;
+use motsim::sim3::FaultSim3;
+use motsim::xred::XRedAnalysis;
+
+fn bench_xred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xred");
+    g.sample_size(10);
+    for name in ["g208", "g298", "g420", "g838", "g953"] {
+        let netlist = motsim_circuits::suite::by_name(name).unwrap();
+        let faults = FaultList::collapsed(&netlist);
+        let seq = TestSequence::random(&netlist, 100, 1);
+        let analysis = XRedAnalysis::analyze(&netlist, &seq);
+        let (_, rest) = analysis.partition(faults.iter().cloned());
+
+        g.bench_function(format!("id_x_red/{name}"), |b| {
+            b.iter(|| XRedAnalysis::analyze(&netlist, &seq))
+        });
+        g.bench_function(format!("x01_full/{name}"), |b| {
+            b.iter(|| FaultSim3::run(&netlist, &seq, faults.iter().cloned()).num_detected())
+        });
+        g.bench_function(format!("x01_pruned/{name}"), |b| {
+            b.iter(|| FaultSim3::run(&netlist, &seq, rest.iter().cloned()).num_detected())
+        });
+    }
+    g.finish();
+}
+
+fn bench_static_xred(c: &mut Criterion) {
+    c.bench_function("xred_static/g838", |b| {
+        let netlist = motsim_circuits::suite::by_name("g838").unwrap();
+        b.iter(|| XRedAnalysis::analyze_static(&netlist))
+    });
+}
+
+criterion_group!(benches, bench_xred, bench_static_xred);
+criterion_main!(benches);

@@ -1,0 +1,413 @@
+//! Regenerates the paper's Tables I–IV and the Fig. 1–3 demonstrations.
+//!
+//! ```text
+//! tables table1 [--len N] [--quick]     Table I   (ID_X-red speedup)
+//! tables table2 [--len N] [--quick]     Table II  (SOT/rMOT/MOT, random)
+//! tables table3 [--quick]               Table III (SOT/rMOT/MOT, deterministic)
+//! tables table4 [--len N]               Table IV  (symbolic test evaluation)
+//! tables figs                           Fig. 1–3 walkthroughs
+//! tables limits [--len N]               node-limit sweep (accuracy/time)
+//! tables all [--quick]                  everything
+//! ```
+//!
+//! `--quick` trims the circuit list and sequence length so the whole run
+//! finishes in a couple of minutes; the full run matches the paper's
+//! parameters (200 random vectors, 30,000-node limit).
+
+use std::time::Instant;
+
+use motsim::faults::FaultList;
+use motsim::hybrid::HybridConfig;
+use motsim::pattern::TestSequence;
+use motsim::report::{cell, secs};
+use motsim::symbolic::{Strategy, SymbolicFaultSim};
+
+use motsim::Fault;
+use motsim_bench::{
+    deterministic_sequence, spec, table1_row, table23_row, table4_row, DEFAULT_LEN, DEFAULT_SEED,
+};
+use motsim_netlist::builder::NetlistBuilder;
+use motsim_netlist::{GateKind, Lead};
+
+struct Opts {
+    len: usize,
+    quick: bool,
+    seed: u64,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        len: DEFAULT_LEN,
+        quick: false,
+        seed: DEFAULT_SEED,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--len" => {
+                i += 1;
+                opts.len = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--len needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--quick" => opts.quick = true,
+            other => die(&format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.quick && opts.len == DEFAULT_LEN {
+        opts.len = 50;
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: tables <table1|table2|table3|table4|figs|all> [--len N] [--seed S] [--quick]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        die("missing command");
+    };
+    let opts = parse_opts(&args[1..]);
+    match cmd.as_str() {
+        "table1" => table1(&opts),
+        "table2" => table2(&opts),
+        "table3" => table3(&opts),
+        "table4" => table4(&opts),
+        "figs" => figs(),
+        "limits" => limits(&opts),
+        "all" => {
+            table1(&opts);
+            table2(&opts);
+            table3(&opts);
+            table4(&opts);
+            limits(&opts);
+            figs();
+        }
+        other => die(&format!("unknown command `{other}`")),
+    }
+}
+
+fn table1_names(quick: bool) -> Vec<&'static str> {
+    let all = motsim_circuits::suite::table1_names();
+    if quick {
+        all.into_iter()
+            .filter(|n| {
+                !matches!(
+                    *n,
+                    "g5378" | "g9234" | "g13207" | "g15850" | "g35932" | "g38417" | "g38584"
+                )
+            })
+            .collect()
+    } else {
+        all
+    }
+}
+
+fn table23_names(quick: bool) -> Vec<&'static str> {
+    let all = motsim_circuits::suite::table23_names();
+    if quick {
+        all.into_iter()
+            .filter(|n| !matches!(*n, "g1196" | "g1238" | "g1423" | "g5378"))
+            .collect()
+    } else {
+        all
+    }
+}
+
+fn table1(opts: &Opts) {
+    println!(
+        "\nTable I: influence of ID_X-red on three-valued fault simulation \
+         ({} random vectors, seed {})",
+        opts.len, opts.seed
+    );
+    println!(
+        "{} {} {} {} {} {} {} {}",
+        cell("Circ.", 9),
+        cell("(paper)", 10),
+        cell("|F|", 7),
+        cell("X-red", 7),
+        cell("|F_d|", 7),
+        cell("X01[s]", 9),
+        cell("X01_p[s]", 9),
+        cell("IDX[s]", 8),
+    );
+    for name in table1_names(opts.quick) {
+        let r = table1_row(&spec(name), opts.len, opts.seed);
+        println!(
+            "{} {} {} {} {} {} {} {}",
+            cell(r.name, 9),
+            cell(r.paper, 10),
+            cell(r.faults, 7),
+            cell(r.x_red, 7),
+            cell(r.detected, 7),
+            cell(secs(r.t_x01), 9),
+            cell(secs(r.t_x01p), 9),
+            cell(secs(r.t_idx), 8),
+        );
+    }
+}
+
+fn print_table23_header() {
+    println!(
+        "{} {} {} {} | {} {} {} | {} {} {}",
+        cell("Circ.", 9),
+        cell("|T|", 5),
+        cell("|F|", 7),
+        cell("|F_u|", 7),
+        cell("SOT", 6),
+        cell("rMOT", 6),
+        cell("MOT", 6),
+        cell("SOT[s]", 8),
+        cell("rMOT[s]", 8),
+        cell("MOT[s]", 8),
+    );
+}
+
+fn print_table23_row(r: &motsim_bench::Table23Row) {
+    let det = |i: usize| {
+        let c = &r.cells[i];
+        format!("{}{}", if c.approximate { "*" } else { "" }, c.detected)
+    };
+    println!(
+        "{} {} {} {} | {} {} {} | {} {} {}",
+        cell(r.name, 9),
+        cell(r.seq_len, 5),
+        cell(r.faults, 7),
+        cell(r.undetected, 7),
+        cell(det(0), 6),
+        cell(det(1), 6),
+        cell(det(2), 6),
+        cell(secs(r.cells[0].time), 8),
+        cell(secs(r.cells[1].time), 8),
+        cell(secs(r.cells[2].time), 8),
+    );
+}
+
+fn table2(opts: &Opts) {
+    println!(
+        "\nTable II: SOT vs rMOT vs MOT on the three-valued-undetected faults \
+         ({} random vectors, 30,000-node limit)",
+        opts.len
+    );
+    print_table23_header();
+    let mut sums = [0usize; 3];
+    for name in table23_names(opts.quick) {
+        let s = spec(name);
+        let netlist = (s.build)();
+        let seq = TestSequence::random(&netlist, opts.len, opts.seed);
+        let r = table23_row(&s, &seq, HybridConfig::default());
+        for (sum, c) in sums.iter_mut().zip(&r.cells) {
+            *sum += c.detected;
+        }
+        print_table23_row(&r);
+    }
+    println!(
+        "{} Σ detected: SOT {}  rMOT {}  MOT {}",
+        cell("", 9),
+        sums[0],
+        sums[1],
+        sums[2]
+    );
+}
+
+fn table3(opts: &Opts) {
+    println!("\nTable III: SOT vs rMOT vs MOT on deterministic (fault-oriented) sequences");
+    print_table23_header();
+    let max_len = if opts.quick { 120 } else { 400 };
+    for name in table23_names(opts.quick) {
+        let s = spec(name);
+        let netlist = (s.build)();
+        let faults = FaultList::collapsed(&netlist);
+        let seq = deterministic_sequence(&netlist, &faults, max_len);
+        if seq.is_empty() {
+            continue;
+        }
+        let r = table23_row(&s, &seq, HybridConfig::default());
+        print_table23_row(&r);
+    }
+}
+
+fn table4(opts: &Opts) {
+    println!("\nTable IV: symbolic test evaluation (30,000-node limit)");
+    println!(
+        "{} {} {} {} {} {}",
+        cell("Circ.", 9),
+        cell("PO", 4),
+        cell("|T|", 5),
+        cell("BDD size", 9),
+        cell("prefix", 7),
+        cell("eval[s]", 8),
+    );
+    // The paper lists the circuits where MOT beat rMOT/SOT; our analogues:
+    for name in ["g208", "g420", "g510", "g953", "g838"] {
+        let s = spec(name);
+        let netlist = (s.build)();
+        let seq = TestSequence::random(&netlist, opts.len, opts.seed);
+        let r = table4_row(&s, &seq, Some(30_000));
+        println!(
+            "{} {} {} {} {} {}",
+            cell(r.name, 9),
+            cell(r.outputs, 4),
+            cell(r.seq_len, 5),
+            cell(
+                format!("{}{}", if r.prefix > 0 { "*" } else { "" }, r.bdd_size),
+                9
+            ),
+            cell(r.prefix, 7),
+            cell(secs(r.eval_time), 8),
+        );
+    }
+}
+
+/// The Fig. 1–3 walkthroughs: tiny circuits where SOT provably fails and
+/// MOT succeeds, printed with their detection-function algebra.
+fn figs() {
+    println!("\nFig. 1: stuck-at fault not detected under SOT (uninitialized machines)");
+    fig1();
+    println!("\nFig. 2: SOT failure despite fault-free initialization");
+    fig2();
+    println!("\nFig. 3: the worked MOT example, D(x,y) = [x ≡ ȳ]·[x ≡ y] ≡ 0");
+    fig3();
+}
+
+fn run_strategies(netlist: &motsim_netlist::Netlist, fault: Fault, seq: &TestSequence) {
+    for strategy in Strategy::ALL {
+        let t0 = Instant::now();
+        let outcome = SymbolicFaultSim::new(netlist, strategy)
+            .run(seq, [fault])
+            .expect("no node limit");
+        println!(
+            "  {:>4}: {} ({} ms)",
+            strategy.to_string(),
+            if outcome.num_detected() == 1 {
+                "DETECTED"
+            } else {
+                "not detected"
+            },
+            t0.elapsed().as_millis()
+        );
+    }
+}
+
+fn fig1() {
+    // Two-input circuit, sequence ([1,0], [1,0]); the fault corrupts the
+    // feedback so both machines stay uninitialized, yet the response *sets*
+    // are disjoint.
+    let mut b = NetlistBuilder::new("fig1");
+    let a = b.add_input("A").unwrap();
+    let c = b.add_input("B").unwrap();
+    let q = b.add_dff("Q").unwrap();
+    let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+    b.connect_dff(q, keep).unwrap();
+    let x = b.add_gate("XR", GateKind::Xor, vec![a, q]).unwrap();
+    let o = b.add_gate("O", GateKind::Xor, vec![x, c]).unwrap();
+    b.add_output(o);
+    let n = b.finish().unwrap();
+    let a = n.find("A").unwrap();
+    let fault = Fault::stuck_at_0(Lead::stem(a));
+    let seq = TestSequence::new(2, vec![vec![true, false], vec![false, false]]);
+    println!("  circuit: O = (A ⊕ Q) ⊕ B, Q' = Q; fault A stuck-at-0; Z = ([1,0],[0,0])");
+    run_strategies(&n, fault, &seq);
+}
+
+fn fig2() {
+    // A counter with synchronous clear: the sequence initializes the
+    // fault-free machine (CLR=1) but a fault on the clear path keeps the
+    // faulty machine unknown. SOT (Definition 2) cannot detect it; MOT can.
+    let n = motsim_circuits::generators::counter(3);
+    let nclr = n.find("NCLR").unwrap();
+    let fault = Fault::stuck_at_1(Lead::stem(nclr));
+    // Clear, count 4, clear again, count 8: the fault-free machine is
+    // re-synchronized mid-sequence; the faulty machine keeps counting and
+    // raises the terminal count at the wrong time for *every* initial
+    // state — undetectable under SOT (Definition 2), detected by rMOT/MOT.
+    let mut vectors = vec![vec![false, true]];
+    vectors.extend(std::iter::repeat_n(vec![true, false], 4));
+    vectors.push(vec![false, true]);
+    vectors.extend(std::iter::repeat_n(vec![true, false], 8));
+    let seq = TestSequence::new(2, vectors);
+    println!("  circuit: 3-bit counter; fault NCLR stuck-at-1 (clear defeated)");
+    println!("  sequence: CLR, count x4, CLR, count x8");
+    run_strategies(&n, fault, &seq);
+}
+
+fn fig3() {
+    let mut b = NetlistBuilder::new("fig3");
+    let a = b.add_input("A").unwrap();
+    let q = b.add_dff("Q").unwrap();
+    let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+    b.connect_dff(q, keep).unwrap();
+    let o = b.add_gate("O", GateKind::Xnor, vec![a, q]).unwrap();
+    b.add_output(o);
+    let n = b.finish().unwrap();
+    let a = n.find("A").unwrap();
+    let fault = Fault::stuck_at_0(Lead::stem(a));
+    let seq = TestSequence::new(1, vec![vec![true], vec![false]]);
+    println!("  circuit: O = XNOR(A, Q), Q' = Q; fault A stuck-at-0; Z = (1, 0)");
+    println!("  fault-free outputs: (x, x̄); faulty outputs: (ȳ, ȳ)");
+    println!("  D(x,y) = [x ≡ ȳ]·[x̄ ≡ ȳ] = [x ≡ ȳ]·[x ≡ y] ≡ 0");
+    run_strategies(&n, fault, &seq);
+}
+
+/// The node-limit sweep: accuracy and time of hybrid MOT as the space
+/// budget varies — the knob behind the paper's s838.1 anomaly.
+fn limits(opts: &Opts) {
+    println!(
+        "\nNode-limit sweep: hybrid MOT on g420 / g526 ({} random vectors)",
+        opts.len
+    );
+    println!(
+        "{} {} {} {} {} {}",
+        cell("Circ.", 9),
+        cell("limit", 8),
+        cell("det", 6),
+        cell("fb-frames", 10),
+        cell("skipped", 8),
+        cell("time[s]", 8),
+    );
+    for name in ["g420", "g526"] {
+        let s = spec(name);
+        let netlist = (s.build)();
+        let faults = FaultList::collapsed(&netlist);
+        let seq = TestSequence::random(&netlist, opts.len, opts.seed);
+        let three = motsim::sim3::FaultSim3::run(&netlist, &seq, faults.iter().cloned());
+        let hard: Vec<Fault> = three.undetected_faults().collect();
+        for limit in [500usize, 2_000, 10_000, 30_000, 120_000] {
+            let t0 = Instant::now();
+            let outcome = motsim::hybrid::hybrid_run(
+                &netlist,
+                Strategy::Mot,
+                &seq,
+                hard.iter().cloned(),
+                HybridConfig {
+                    node_limit: limit,
+                    fallback_frames: 8,
+                },
+            );
+            println!(
+                "{} {} {} {} {} {}",
+                cell(name, 9),
+                cell(limit, 8),
+                cell(outcome.num_detected(), 6),
+                cell(outcome.fallback_frames, 10),
+                cell(outcome.degraded_terms, 8),
+                cell(secs(t0.elapsed()), 8),
+            );
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! Structural circuit generators.
+//!
+//! Each generator produces a circuit family that also occurs in the ISCAS-89
+//! suite (see `DESIGN.md` §2 for the correspondence). All generators are
+//! deterministic: the randomized ones take an explicit seed.
+
+use motsim_netlist::{builder::NetlistBuilder, GateKind, NetId, Netlist};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a balanced tree of 2-input gates of `kind` over `nets`, returning
+/// the root. Single net: returns it unchanged (no gate inserted).
+fn reduce_tree(b: &mut NetlistBuilder, kind: GateKind, prefix: &str, nets: &[NetId]) -> NetId {
+    assert!(!nets.is_empty(), "tree over empty set");
+    let mut layer: Vec<NetId> = nets.to_vec();
+    let mut counter = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let g = b
+                    .add_gate(&format!("{prefix}_{counter}"), kind, vec![pair[0], pair[1]])
+                    .expect("generated names are unique");
+                counter += 1;
+                next.push(g);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// An `bits`-bit synchronous binary up-counter with count-enable `EN` and
+/// synchronous clear `CLR` — the s208.1/s420.1/s838.1 circuit family.
+///
+/// The single primary output is a zero-detect (NOR of all state bits),
+/// active immediately after a clear. `CLR = 1` synchronizes the *fault-free*
+/// machine in one clock; faults on the clear path defeat synchronization,
+/// which is exactly the situation where the MOT strategy detects faults
+/// that SOT provably cannot.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn counter(bits: usize) -> Netlist {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut b = NetlistBuilder::new(format!("counter{bits}"));
+    let en = b.add_input("EN").unwrap();
+    let clr = b.add_input("CLR").unwrap();
+    let q: Vec<NetId> = (0..bits)
+        .map(|i| b.add_dff(&format!("B{i}")).unwrap())
+        .collect();
+    let nclr = b.add_gate("NCLR", GateKind::Not, vec![clr]).unwrap();
+    let mut carry = en;
+    for (i, &qi) in q.iter().enumerate() {
+        let sum = b
+            .add_gate(&format!("S{i}"), GateKind::Xor, vec![qi, carry])
+            .unwrap();
+        let next = b
+            .add_gate(&format!("D{i}"), GateKind::And, vec![nclr, sum])
+            .unwrap();
+        b.connect_dff(qi, next).unwrap();
+        if i + 1 < bits {
+            carry = b
+                .add_gate(&format!("C{i}"), GateKind::And, vec![carry, qi])
+                .unwrap();
+        }
+    }
+    let any = reduce_tree(&mut b, GateKind::Or, "Z", &q);
+    let zero = b.add_gate("ZERO", GateKind::Not, vec![any]).unwrap();
+    b.add_output(zero);
+    b.finish().expect("counter is well-formed")
+}
+
+/// A counter whose synchronous clear only resets the low `cleared` bits —
+/// the upper bits keep counting through carries and never synchronize
+/// (the s208.1-style "fractional divider" behaviour).
+///
+/// The single primary output is the zero-detect over *all* bits, so after a
+/// clear the output still depends on the unknown upper bits. This is the
+/// family where the MOT strategy strictly outperforms rMOT: the fault-free
+/// output is rarely a constant (killing rMOT's admissible terms), yet the
+/// response *sets* of faulty machines are disjoint from the fault-free set.
+///
+/// # Panics
+///
+/// Panics if `cleared == 0` or `cleared > bits`.
+pub fn partial_counter(bits: usize, cleared: usize) -> Netlist {
+    assert!(cleared > 0 && cleared <= bits, "need 0 < cleared <= bits");
+    let mut b = NetlistBuilder::new(format!("pcounter{bits}_{cleared}"));
+    let en = b.add_input("EN").unwrap();
+    let clr = b.add_input("CLR").unwrap();
+    let q: Vec<NetId> = (0..bits)
+        .map(|i| b.add_dff(&format!("B{i}")).unwrap())
+        .collect();
+    let nclr = b.add_gate("NCLR", GateKind::Not, vec![clr]).unwrap();
+    let mut carry = en;
+    for (i, &qi) in q.iter().enumerate() {
+        let sum = b
+            .add_gate(&format!("S{i}"), GateKind::Xor, vec![qi, carry])
+            .unwrap();
+        let next = if i < cleared {
+            b.add_gate(&format!("D{i}"), GateKind::And, vec![nclr, sum])
+                .unwrap()
+        } else {
+            sum
+        };
+        b.connect_dff(qi, next).unwrap();
+        if i + 1 < bits {
+            carry = b
+                .add_gate(&format!("C{i}"), GateKind::And, vec![carry, qi])
+                .unwrap();
+        }
+    }
+    let any = reduce_tree(&mut b, GateKind::Or, "Z", &q);
+    let zero = b.add_gate("ZERO", GateKind::Not, vec![any]).unwrap();
+    b.add_output(zero);
+    b.finish().expect("partial counter is well-formed")
+}
+
+/// A `bits`-bit serial shift register with parallel parity tap — a fully
+/// synchronizable pipeline (the fault-free circuit reaches a known state
+/// after `bits` clocks regardless of the initial state).
+///
+/// Inputs: serial-in `SI`. Outputs: serial-out (last stage) and the parity
+/// of all stages.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn shift_register(bits: usize) -> Netlist {
+    assert!(bits > 0, "shift register needs at least one stage");
+    let mut b = NetlistBuilder::new(format!("shift{bits}"));
+    let si = b.add_input("SI").unwrap();
+    let q: Vec<NetId> = (0..bits)
+        .map(|i| b.add_dff(&format!("S{i}")).unwrap())
+        .collect();
+    let mut prev = si;
+    for (i, &ff) in q.iter().enumerate() {
+        let d = b
+            .add_gate(&format!("D{i}"), GateKind::Buf, vec![prev])
+            .unwrap();
+        b.connect_dff(ff, d).unwrap();
+        prev = ff;
+    }
+    let so = b.add_gate("SO", GateKind::Buf, vec![prev]).unwrap();
+    let par = reduce_tree(&mut b, GateKind::Xor, "P", &q);
+    b.add_output(so);
+    b.add_output(par);
+    b.finish().expect("shift register is well-formed")
+}
+
+/// A `bits`-bit Fibonacci LFSR with an external disturbance input mixed into
+/// the feedback, plus serial and feedback outputs.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`, if `taps` is empty or any tap is out of range.
+pub fn lfsr(bits: usize, taps: &[usize]) -> Netlist {
+    assert!(bits > 0, "lfsr needs at least one stage");
+    assert!(!taps.is_empty(), "lfsr needs at least one tap");
+    assert!(taps.iter().all(|&t| t < bits), "tap out of range");
+    let mut b = NetlistBuilder::new(format!("lfsr{bits}"));
+    let input = b.add_input("IN").unwrap();
+    let q: Vec<NetId> = (0..bits)
+        .map(|i| b.add_dff(&format!("L{i}")).unwrap())
+        .collect();
+    let tap_nets: Vec<NetId> = taps.iter().map(|&t| q[t]).collect();
+    let fb_taps = reduce_tree(&mut b, GateKind::Xor, "FB", &tap_nets);
+    let fb = b
+        .add_gate("FBIN", GateKind::Xor, vec![fb_taps, input])
+        .unwrap();
+    b.connect_dff(q[0], fb).unwrap();
+    for i in 1..bits {
+        let d = b
+            .add_gate(&format!("D{i}"), GateKind::Buf, vec![q[i - 1]])
+            .unwrap();
+        b.connect_dff(q[i], d).unwrap();
+    }
+    let so = b.add_gate("SO", GateKind::Buf, vec![q[bits - 1]]).unwrap();
+    b.add_output(so);
+    b.add_output(fb);
+    b.finish().expect("lfsr is well-formed")
+}
+
+/// A `bits`-bit binary counter with Gray-coded outputs
+/// (`G_i = B_i ⊕ B_{i+1}`), enable and synchronous clear.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gray_counter(bits: usize) -> Netlist {
+    assert!(bits >= 2, "gray counter needs at least two bits");
+    let mut b = NetlistBuilder::new(format!("gray{bits}"));
+    let en = b.add_input("EN").unwrap();
+    let clr = b.add_input("CLR").unwrap();
+    let q: Vec<NetId> = (0..bits)
+        .map(|i| b.add_dff(&format!("B{i}")).unwrap())
+        .collect();
+    let nclr = b.add_gate("NCLR", GateKind::Not, vec![clr]).unwrap();
+    let mut carry = en;
+    for (i, &qi) in q.iter().enumerate() {
+        let sum = b
+            .add_gate(&format!("S{i}"), GateKind::Xor, vec![qi, carry])
+            .unwrap();
+        let next = b
+            .add_gate(&format!("D{i}"), GateKind::And, vec![nclr, sum])
+            .unwrap();
+        b.connect_dff(qi, next).unwrap();
+        if i + 1 < bits {
+            carry = b
+                .add_gate(&format!("C{i}"), GateKind::And, vec![carry, qi])
+                .unwrap();
+        }
+    }
+    for i in 0..bits - 1 {
+        let g = b
+            .add_gate(&format!("G{i}"), GateKind::Xor, vec![q[i], q[i + 1]])
+            .unwrap();
+        b.add_output(g);
+    }
+    b.add_output(q[bits - 1]);
+    b.finish().expect("gray counter is well-formed")
+}
+
+/// A bit-serial accumulator (the s344/s349 "multiplier fragment" family):
+/// an `bits`-bit ripple adder accumulating an input vector under an enable,
+/// with a carry flip-flop.
+///
+/// Inputs: `EN`, `A0..A{bits-1}`. Outputs: all accumulator bits and the
+/// carry flip-flop.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn serial_accumulator(bits: usize) -> Netlist {
+    assert!(bits > 0, "accumulator needs at least one bit");
+    let mut b = NetlistBuilder::new(format!("accum{bits}"));
+    let en = b.add_input("EN").unwrap();
+    let clr = b.add_input("CLR").unwrap();
+    let a: Vec<NetId> = (0..bits)
+        .map(|i| b.add_input(&format!("A{i}")).unwrap())
+        .collect();
+    let acc: Vec<NetId> = (0..bits)
+        .map(|i| b.add_dff(&format!("R{i}")).unwrap())
+        .collect();
+    let cff = b.add_dff("CF").unwrap();
+    let nclr = b.add_gate("NCLR", GateKind::Not, vec![clr]).unwrap();
+    let mut carry = cff;
+    for i in 0..bits {
+        // Gate the addend with EN.
+        let ai = b
+            .add_gate(&format!("GA{i}"), GateKind::And, vec![a[i], en])
+            .unwrap();
+        let s1 = b
+            .add_gate(&format!("S1_{i}"), GateKind::Xor, vec![acc[i], ai])
+            .unwrap();
+        let sum = b
+            .add_gate(&format!("SUM{i}"), GateKind::Xor, vec![s1, carry])
+            .unwrap();
+        let c1 = b
+            .add_gate(&format!("C1_{i}"), GateKind::And, vec![acc[i], ai])
+            .unwrap();
+        let c2 = b
+            .add_gate(&format!("C2_{i}"), GateKind::And, vec![s1, carry])
+            .unwrap();
+        let cout = b
+            .add_gate(&format!("CO{i}"), GateKind::Or, vec![c1, c2])
+            .unwrap();
+        let d = b
+            .add_gate(&format!("LD{i}"), GateKind::And, vec![nclr, sum])
+            .unwrap();
+        b.connect_dff(acc[i], d).unwrap();
+        b.add_output(acc[i]);
+        carry = cout;
+    }
+    let dcf = b
+        .add_gate("LDCF", GateKind::And, vec![nclr, carry])
+        .unwrap();
+    b.connect_dff(cff, dcf).unwrap();
+    b.add_output(cff);
+    b.finish().expect("accumulator is well-formed")
+}
+
+/// Parameters of the random FSM generator ([`fsm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmParams {
+    /// Number of state flip-flops.
+    pub state_bits: usize,
+    /// Number of primary inputs (excluding the optional reset).
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Sum-of-products terms per generated function.
+    pub terms: usize,
+    /// Literals per term.
+    pub literals: usize,
+    /// If `true`, add a synchronous reset input `RST` that clears the state
+    /// (making the fault-free machine synchronizable, the rMOT sweet spot).
+    pub reset: bool,
+    /// Number of state bits whose next-state logic reads primary inputs
+    /// only. Real controllers load a slice of their state directly from
+    /// inputs; those bits synchronize after one frame, which gives the
+    /// three-valued simulator something to hold on to (ISCAS circuits
+    /// behave the same way).
+    pub sync_bits: usize,
+}
+
+impl Default for FsmParams {
+    fn default() -> Self {
+        FsmParams {
+            state_bits: 4,
+            inputs: 3,
+            outputs: 2,
+            terms: 3,
+            literals: 3,
+            reset: false,
+            sync_bits: 1,
+        }
+    }
+}
+
+/// A random Mealy-style control FSM with two-level next-state and output
+/// logic (the s298/s386/s510/s820 controller family). Deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if any of the size parameters is zero.
+pub fn fsm(name: &str, seed: u64, p: FsmParams) -> Netlist {
+    assert!(
+        p.state_bits > 0 && p.inputs > 0 && p.outputs > 0 && p.terms > 0 && p.literals > 0,
+        "all FSM parameters must be positive"
+    );
+    assert!(
+        p.sync_bits <= p.state_bits,
+        "sync_bits cannot exceed state_bits"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(name);
+    let ins: Vec<NetId> = (0..p.inputs)
+        .map(|i| b.add_input(&format!("I{i}")).unwrap())
+        .collect();
+    let rst = p.reset.then(|| b.add_input("RST").unwrap());
+    let q: Vec<NetId> = (0..p.state_bits)
+        .map(|i| b.add_dff(&format!("Q{i}")).unwrap())
+        .collect();
+
+    // Lazily created inverters per literal source.
+    let mut inverters: Vec<Option<NetId>> = Vec::new();
+    let pool: Vec<NetId> = ins.iter().chain(q.iter()).copied().collect();
+    inverters.resize(pool.len(), None);
+    let invert =
+        |b: &mut NetlistBuilder, pool: &[NetId], inverters: &mut Vec<Option<NetId>>, i: usize| {
+            if let Some(n) = inverters[i] {
+                n
+            } else {
+                let n = b
+                    .add_gate(&format!("NINV{i}"), GateKind::Not, vec![pool[i]])
+                    .unwrap();
+                inverters[i] = Some(n);
+                n
+            }
+        };
+
+    let nrst = rst.map(|r| b.add_gate("NRST", GateKind::Not, vec![r]).unwrap());
+
+    let mut sop_counter = 0usize;
+    let mut make_sop = |b: &mut NetlistBuilder,
+                        rng: &mut SmallRng,
+                        inverters: &mut Vec<Option<NetId>>,
+                        pool: &[NetId]|
+     -> NetId {
+        let mut terms = Vec::with_capacity(p.terms);
+        for _ in 0..p.terms {
+            let mut lits = Vec::with_capacity(p.literals);
+            for _ in 0..p.literals {
+                let i = rng.gen_range(0..pool.len());
+                let lit = if rng.gen_bool(0.5) {
+                    pool[i]
+                } else {
+                    invert(b, pool, inverters, i)
+                };
+                if !lits.contains(&lit) {
+                    lits.push(lit);
+                }
+            }
+            let t = if lits.len() == 1 {
+                lits[0]
+            } else {
+                let g = b
+                    .add_gate(&format!("T{sop_counter}"), GateKind::And, lits)
+                    .unwrap();
+                sop_counter += 1;
+                g
+            };
+            terms.push(t);
+        }
+        terms.sort_unstable();
+        terms.dedup();
+        if terms.len() == 1 {
+            terms[0]
+        } else {
+            let g = b
+                .add_gate(&format!("T{sop_counter}"), GateKind::Or, terms)
+                .unwrap();
+            sop_counter += 1;
+            g
+        }
+    };
+
+    for (i, &ff) in q.iter().enumerate() {
+        // The first `sync_bits` state bits load from inputs only (their
+        // literal pool is the input prefix of `pool`).
+        let lit_pool = if i < p.sync_bits {
+            &pool[..p.inputs]
+        } else {
+            &pool[..]
+        };
+        let sop = make_sop(&mut b, &mut rng, &mut inverters, lit_pool);
+        let d = match nrst {
+            Some(nr) => b
+                .add_gate(&format!("DN{i}"), GateKind::And, vec![nr, sop])
+                .unwrap(),
+            None => sop,
+        };
+        b.connect_dff(ff, d).unwrap();
+    }
+    for _ in 0..p.outputs {
+        let sop = make_sop(&mut b, &mut rng, &mut inverters, &pool);
+        b.add_output(sop);
+    }
+    b.finish().expect("generated FSM is well-formed")
+}
+
+/// Parameters of the random sequential circuit generator
+/// ([`random_circuit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomParams {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// Maximum gate fanin.
+    pub max_fanin: usize,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        RandomParams {
+            inputs: 4,
+            outputs: 3,
+            dffs: 4,
+            gates: 24,
+            max_fanin: 4,
+        }
+    }
+}
+
+/// A random acyclic sequential circuit (the "irregular glue logic" family).
+/// Deterministic in `seed`; gates prefer recently created signals as fanins,
+/// which produces ISCAS-like depth rather than a flat two-level net.
+///
+/// # Panics
+///
+/// Panics if any size parameter is zero or `max_fanin < 2`.
+pub fn random_circuit(name: &str, seed: u64, p: RandomParams) -> Netlist {
+    assert!(
+        p.inputs > 0 && p.outputs > 0 && p.dffs > 0 && p.gates > 0,
+        "all size parameters must be positive"
+    );
+    assert!(p.max_fanin >= 2, "max_fanin must be at least 2");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(name);
+    let mut pool: Vec<NetId> = Vec::new();
+    for i in 0..p.inputs {
+        pool.push(b.add_input(&format!("I{i}")).unwrap());
+    }
+    let q: Vec<NetId> = (0..p.dffs)
+        .map(|i| b.add_dff(&format!("Q{i}")).unwrap())
+        .collect();
+    pool.extend(&q);
+
+    let mut gates = Vec::with_capacity(p.gates);
+    for i in 0..p.gates {
+        let kind = match rng.gen_range(0..10) {
+            0 | 1 => GateKind::And,
+            2 | 3 => GateKind::Nand,
+            4 | 5 => GateKind::Or,
+            6 | 7 => GateKind::Nor,
+            8 => {
+                if rng.gen_bool(0.5) {
+                    GateKind::Xor
+                } else {
+                    GateKind::Xnor
+                }
+            }
+            _ => {
+                if rng.gen_bool(0.5) {
+                    GateKind::Not
+                } else {
+                    GateKind::Buf
+                }
+            }
+        };
+        let arity = if kind.is_unary() {
+            1
+        } else {
+            rng.gen_range(2..=p.max_fanin)
+        };
+        let mut fanin = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            // Bias towards the most recent quarter of the pool for depth.
+            let idx = if rng.gen_bool(0.5) && pool.len() > 4 {
+                rng.gen_range(pool.len() * 3 / 4..pool.len())
+            } else {
+                rng.gen_range(0..pool.len())
+            };
+            fanin.push(pool[idx]);
+        }
+        fanin.dedup();
+        let g = if kind.is_unary() {
+            b.add_gate(&format!("G{i}"), kind, vec![fanin[0]]).unwrap()
+        } else if fanin.len() == 1 {
+            b.add_gate(&format!("G{i}"), GateKind::Buf, vec![fanin[0]])
+                .unwrap()
+        } else {
+            b.add_gate(&format!("G{i}"), kind, fanin).unwrap()
+        };
+        pool.push(g);
+        gates.push(g);
+    }
+    for (k, &ff) in q.iter().enumerate() {
+        if k % 3 == 0 {
+            // Every third flip-flop loads from inputs only (register slices
+            // fed by data inputs — common in the ISCAS designs and what
+            // lets three-valued simulation synchronize part of the state).
+            let arity = rng.gen_range(1..=2.min(p.inputs));
+            let mut fanin: Vec<NetId> = (0..arity)
+                .map(|_| pool[rng.gen_range(0..p.inputs)])
+                .collect();
+            fanin.dedup();
+            let d = if fanin.len() == 1 {
+                b.add_gate(&format!("LD{k}"), GateKind::Buf, vec![fanin[0]])
+                    .unwrap()
+            } else {
+                b.add_gate(&format!("LD{k}"), GateKind::Nand, fanin)
+                    .unwrap()
+            };
+            b.connect_dff(ff, d).unwrap();
+        } else {
+            let d = gates[rng.gen_range(gates.len() / 2..gates.len())];
+            b.connect_dff(ff, d).unwrap();
+        }
+    }
+    for _ in 0..p.outputs {
+        let o = gates[rng.gen_range(0..gates.len())];
+        b.add_output(o);
+    }
+    b.finish().expect("generated circuit is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motsim_netlist::analysis::NetlistStats;
+
+    #[test]
+    fn counter_shape() {
+        let c = counter(8);
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 8);
+        assert!(c.num_gates() > 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn counter_zero_bits_panics() {
+        counter(0);
+    }
+
+    #[test]
+    fn partial_counter_shape() {
+        let c = partial_counter(8, 6);
+        assert_eq!(c.num_dffs(), 8);
+        assert_eq!(c.num_outputs(), 1);
+        // Upper bits have no clear gate.
+        assert!(c.find("D6").is_none());
+        assert!(c.find("D5").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cleared <= bits")]
+    fn partial_counter_validates() {
+        partial_counter(4, 5);
+    }
+
+    #[test]
+    fn shift_register_shape() {
+        let c = shift_register(16);
+        assert_eq!(c.num_dffs(), 16);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_inputs(), 1);
+    }
+
+    #[test]
+    fn lfsr_shape() {
+        let c = lfsr(8, &[0, 3, 5]);
+        assert_eq!(c.num_dffs(), 8);
+        assert_eq!(c.num_outputs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tap out of range")]
+    fn lfsr_bad_tap_panics() {
+        lfsr(4, &[4]);
+    }
+
+    #[test]
+    fn gray_counter_shape() {
+        let c = gray_counter(6);
+        assert_eq!(c.num_outputs(), 6);
+        assert_eq!(c.num_dffs(), 6);
+    }
+
+    #[test]
+    fn accumulator_shape() {
+        let c = serial_accumulator(4);
+        assert_eq!(c.num_dffs(), 5); // 4 bits + carry FF
+        assert_eq!(c.num_inputs(), 6); // EN + CLR + 4 addend bits
+        assert_eq!(c.num_outputs(), 5);
+    }
+
+    #[test]
+    fn fsm_is_deterministic() {
+        let a = fsm("f", 42, FsmParams::default());
+        let b = fsm("f", 42, FsmParams::default());
+        assert_eq!(
+            motsim_netlist::write::to_bench(&a),
+            motsim_netlist::write::to_bench(&b)
+        );
+        let c = fsm("f", 43, FsmParams::default());
+        assert_ne!(
+            motsim_netlist::write::to_bench(&a),
+            motsim_netlist::write::to_bench(&c)
+        );
+    }
+
+    #[test]
+    fn fsm_with_reset_has_rst_input() {
+        let p = FsmParams {
+            reset: true,
+            ..FsmParams::default()
+        };
+        let n = fsm("f", 1, p);
+        assert!(n.find("RST").is_some());
+        assert_eq!(n.num_inputs(), p.inputs + 1);
+    }
+
+    #[test]
+    fn random_circuit_is_deterministic_and_valid() {
+        let p = RandomParams::default();
+        let a = random_circuit("r", 7, p);
+        let b = random_circuit("r", 7, p);
+        assert_eq!(
+            motsim_netlist::write::to_bench(&a),
+            motsim_netlist::write::to_bench(&b)
+        );
+        let st = NetlistStats::of(&a);
+        assert_eq!(st.inputs, p.inputs);
+        assert_eq!(st.outputs, p.outputs);
+        assert_eq!(st.dffs, p.dffs);
+        // Input-load gates for every third flip-flop come on top of the
+        // requested gate count.
+        assert!(st.gates >= p.gates);
+        assert!(st.gates <= p.gates + p.dffs);
+    }
+
+    #[test]
+    fn random_circuit_larger() {
+        let p = RandomParams {
+            inputs: 10,
+            outputs: 8,
+            dffs: 20,
+            gates: 200,
+            max_fanin: 5,
+        };
+        let n = random_circuit("big", 99, p);
+        assert!(n.num_gates() >= 200 && n.num_gates() <= 200 + 20);
+        assert!(
+            n.depth() >= 3,
+            "bias should create depth, got {}",
+            n.depth()
+        );
+    }
+
+    #[test]
+    fn generated_circuits_levelize() {
+        // finish() would have failed on a cycle; spot-check level sanity.
+        for n in [
+            counter(16),
+            shift_register(8),
+            lfsr(6, &[0, 4]),
+            gray_counter(4),
+            serial_accumulator(8),
+            fsm("f", 3, FsmParams::default()),
+            random_circuit("r", 3, RandomParams::default()),
+        ] {
+            for &g in n.eval_order() {
+                for &f in n.net(g).fanin() {
+                    assert!(n.level(f) < n.level(g));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The named `g*` benchmark suite.
+//!
+//! Each entry instantiates one of the [`crate::generators`] families at a
+//! size matched to an ISCAS-89 circuit from the paper's tables (the `g`
+//! prefix marks the substitution; see `DESIGN.md` §2). All instances are
+//! deterministic, so experiment runs are reproducible bit-for-bit.
+
+use motsim_netlist::Netlist;
+
+use crate::generators::{
+    fsm, gray_counter, lfsr, partial_counter, random_circuit, serial_accumulator, shift_register,
+    FsmParams, RandomParams,
+};
+
+/// A named benchmark: its `g*` name, the ISCAS-89 circuit whose table row it
+/// stands in for, and a constructor.
+#[derive(Clone)]
+pub struct BenchmarkSpec {
+    /// Suite name (`g208`, `g298`, …).
+    pub name: &'static str,
+    /// The paper's circuit this row corresponds to (`s208.1`, …).
+    pub paper_name: &'static str,
+    /// Builds the netlist.
+    pub build: fn() -> Netlist,
+}
+
+impl std::fmt::Debug for BenchmarkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkSpec")
+            .field("name", &self.name)
+            .field("paper_name", &self.paper_name)
+            .finish()
+    }
+}
+
+macro_rules! spec {
+    ($name:literal, $paper:literal, $build:expr) => {
+        BenchmarkSpec {
+            name: $name,
+            paper_name: $paper,
+            build: $build,
+        }
+    };
+}
+
+/// All suite benchmarks, smallest first.
+///
+/// The first block mirrors the circuits of Tables II/III (symbolic
+/// strategies tractable); the trailing block mirrors the larger circuits
+/// that appear only in Table I (three-valued simulation with `ID_X-red`).
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![
+        spec!("g27", "s27", || crate::s27()),
+        spec!("g208", "s208.1", || partial_counter(8, 6)),
+        spec!("g298", "s298", || fsm(
+            "g298",
+            298,
+            FsmParams {
+                state_bits: 14,
+                inputs: 3,
+                outputs: 6,
+                terms: 3,
+                literals: 3,
+                reset: false,
+                sync_bits: 4
+            }
+        )),
+        spec!("g344", "s344", || serial_accumulator(10)),
+        spec!("g349", "s349", || serial_accumulator(11)),
+        spec!("g382", "s382", || fsm(
+            "g382",
+            382,
+            FsmParams {
+                state_bits: 21,
+                inputs: 3,
+                outputs: 6,
+                terms: 3,
+                literals: 3,
+                reset: false,
+                sync_bits: 6
+            }
+        )),
+        spec!("g386", "s386", || fsm(
+            "g386",
+            386,
+            FsmParams {
+                state_bits: 6,
+                inputs: 7,
+                outputs: 7,
+                terms: 4,
+                literals: 3,
+                reset: false,
+                sync_bits: 2
+            }
+        )),
+        spec!("g400", "s400", || fsm(
+            "g400",
+            400,
+            FsmParams {
+                state_bits: 21,
+                inputs: 3,
+                outputs: 6,
+                terms: 3,
+                literals: 4,
+                reset: false,
+                sync_bits: 6
+            }
+        )),
+        spec!("g420", "s420.1", || partial_counter(16, 13)),
+        spec!("g444", "s444", || fsm(
+            "g444",
+            444,
+            FsmParams {
+                state_bits: 21,
+                inputs: 3,
+                outputs: 6,
+                terms: 4,
+                literals: 4,
+                reset: false,
+                sync_bits: 6
+            }
+        )),
+        spec!("g510", "s510", || fsm(
+            "g510",
+            510,
+            FsmParams {
+                state_bits: 6,
+                inputs: 19,
+                outputs: 7,
+                terms: 4,
+                literals: 4,
+                reset: false,
+                sync_bits: 0
+            }
+        )),
+        spec!("g526", "s526", || fsm(
+            "g526",
+            526,
+            FsmParams {
+                state_bits: 21,
+                inputs: 3,
+                outputs: 6,
+                terms: 4,
+                literals: 3,
+                reset: false,
+                sync_bits: 6
+            }
+        )),
+        spec!("g641", "s641", || random_circuit(
+            "g641",
+            641,
+            RandomParams {
+                inputs: 35,
+                outputs: 24,
+                dffs: 19,
+                gates: 120,
+                max_fanin: 4
+            }
+        )),
+        spec!("g713", "s713", || random_circuit(
+            "g713",
+            713,
+            RandomParams {
+                inputs: 35,
+                outputs: 23,
+                dffs: 19,
+                gates: 140,
+                max_fanin: 4
+            }
+        )),
+        spec!("g820", "s820", || fsm(
+            "g820",
+            820,
+            FsmParams {
+                state_bits: 5,
+                inputs: 18,
+                outputs: 19,
+                terms: 5,
+                literals: 4,
+                reset: false,
+                sync_bits: 2
+            }
+        )),
+        spec!("g832", "s832", || fsm(
+            "g832",
+            832,
+            FsmParams {
+                state_bits: 5,
+                inputs: 18,
+                outputs: 19,
+                terms: 5,
+                literals: 4,
+                reset: false,
+                sync_bits: 2
+            }
+        )),
+        spec!("g838", "s838.1", || partial_counter(32, 28)),
+        spec!("g953", "s953", || fsm(
+            "g953",
+            953,
+            FsmParams {
+                state_bits: 29,
+                inputs: 16,
+                outputs: 23,
+                terms: 4,
+                literals: 4,
+                reset: false,
+                sync_bits: 8
+            }
+        )),
+        spec!("g1196", "s1196", || random_circuit(
+            "g1196",
+            1196,
+            RandomParams {
+                inputs: 14,
+                outputs: 14,
+                dffs: 18,
+                gates: 380,
+                max_fanin: 4
+            }
+        )),
+        spec!("g1238", "s1238", || random_circuit(
+            "g1238",
+            1238,
+            RandomParams {
+                inputs: 14,
+                outputs: 14,
+                dffs: 18,
+                gates: 420,
+                max_fanin: 4
+            }
+        )),
+        spec!("g1423", "s1423", || random_circuit(
+            "g1423",
+            1423,
+            RandomParams {
+                inputs: 17,
+                outputs: 5,
+                dffs: 74,
+                gates: 490,
+                max_fanin: 4
+            }
+        )),
+        spec!("g1488", "s1488", || fsm(
+            "g1488",
+            1488,
+            FsmParams {
+                state_bits: 6,
+                inputs: 8,
+                outputs: 19,
+                terms: 6,
+                literals: 4,
+                reset: false,
+                sync_bits: 2
+            }
+        )),
+        spec!("g1494", "s1494", || fsm(
+            "g1494",
+            1494,
+            FsmParams {
+                state_bits: 6,
+                inputs: 8,
+                outputs: 19,
+                terms: 6,
+                literals: 4,
+                reset: false,
+                sync_bits: 2
+            }
+        )),
+        spec!("g5378", "s5378", || random_circuit(
+            "g5378",
+            5378,
+            RandomParams {
+                inputs: 35,
+                outputs: 49,
+                dffs: 164,
+                gates: 1500,
+                max_fanin: 4
+            }
+        )),
+        // Larger circuits: Table I only (three-valued + ID_X-red).
+        spec!("g9234", "s9234.1", || random_circuit(
+            "g9234",
+            9234,
+            RandomParams {
+                inputs: 36,
+                outputs: 39,
+                dffs: 211,
+                gates: 2400,
+                max_fanin: 4
+            }
+        )),
+        spec!("g13207", "s13207.1", || random_circuit(
+            "g13207",
+            13207,
+            RandomParams {
+                inputs: 62,
+                outputs: 152,
+                dffs: 638,
+                gates: 3200,
+                max_fanin: 4
+            }
+        )),
+        spec!("g15850", "s15850.1", || random_circuit(
+            "g15850",
+            15850,
+            RandomParams {
+                inputs: 77,
+                outputs: 150,
+                dffs: 534,
+                gates: 4000,
+                max_fanin: 4
+            }
+        )),
+        spec!("g35932", "s35932", || random_circuit(
+            "g35932",
+            35932,
+            RandomParams {
+                inputs: 35,
+                outputs: 320,
+                dffs: 1728,
+                gates: 8000,
+                max_fanin: 4
+            }
+        )),
+        spec!("g38417", "s38417", || random_circuit(
+            "g38417",
+            38417,
+            RandomParams {
+                inputs: 28,
+                outputs: 106,
+                dffs: 1636,
+                gates: 9500,
+                max_fanin: 4
+            }
+        )),
+        spec!("g38584", "s38584.1", || random_circuit(
+            "g38584",
+            38584,
+            RandomParams {
+                inputs: 38,
+                outputs: 304,
+                dffs: 1426,
+                gates: 11000,
+                max_fanin: 4
+            }
+        )),
+        // Structured extras exercising the remaining generator families.
+        spec!("gshift64", "(pipeline family)", || shift_register(64)),
+        spec!("glfsr16", "(signature family)", || lfsr(16, &[0, 2, 3, 5])),
+        spec!("ggray8", "(counter family)", || gray_counter(8)),
+    ]
+}
+
+/// Builds a suite circuit by `g*` name.
+pub fn by_name(name: &str) -> Option<Netlist> {
+    all()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| (s.build)())
+}
+
+/// Names used for Table I (all suite circuits including the large block).
+pub fn table1_names() -> Vec<&'static str> {
+    all()
+        .iter()
+        .map(|s| s.name)
+        .filter(|n| !n.starts_with("gshift") && !n.starts_with("glfsr") && !n.starts_with("ggray"))
+        .collect()
+}
+
+/// Names used for Tables II/III: the subset where symbolic simulation is
+/// tractable under the 30,000-node limit (mirrors the paper, which drops
+/// its largest circuits from Table II for the same reason).
+pub fn table23_names() -> Vec<&'static str> {
+    vec![
+        "g27", "g208", "g298", "g344", "g349", "g382", "g386", "g400", "g420", "g444", "g510",
+        "g526", "g641", "g713", "g820", "g832", "g838", "g953", "g1196", "g1238", "g1423", "g1488",
+        "g1494", "g5378",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_build_and_match_families() {
+        for s in all() {
+            let n = (s.build)();
+            assert!(
+                n.num_gates() > 0 || s.name == "gsr1",
+                "{} built empty",
+                s.name
+            );
+            assert!(n.num_dffs() > 0, "{} has no state", s.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trip() {
+        let n = by_name("g208").unwrap();
+        assert_eq!(n.num_dffs(), 8);
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn counter_family_sizes_match_paper_rows() {
+        assert_eq!(by_name("g208").unwrap().num_dffs(), 8);
+        assert_eq!(by_name("g420").unwrap().num_dffs(), 16);
+        assert_eq!(by_name("g838").unwrap().num_dffs(), 32);
+    }
+
+    #[test]
+    fn table_subsets_are_suite_members() {
+        let names: Vec<_> = all().iter().map(|s| s.name).collect();
+        for n in table1_names() {
+            assert!(names.contains(&n));
+        }
+        for n in table23_names() {
+            assert!(names.contains(&n));
+        }
+        assert!(table23_names().len() < table1_names().len());
+    }
+
+    #[test]
+    fn deterministic_instantiation() {
+        let a = by_name("g298").unwrap();
+        let b = by_name("g298").unwrap();
+        assert_eq!(
+            motsim_netlist::write::to_bench(&a),
+            motsim_netlist::write::to_bench(&b)
+        );
+    }
+
+    #[test]
+    fn specs_debug() {
+        let s = &all()[0];
+        assert!(format!("{s:?}").contains("g27"));
+    }
+}

@@ -1,0 +1,546 @@
+//! `motsim` — command-line front end for the symbolic fault simulator.
+//!
+//! ```text
+//! motsim stats      <circuit>
+//! motsim faults     <circuit> [--complete]
+//! motsim sim3       <circuit> [--len N] [--seed S] [--no-xred]
+//! motsim strategies <circuit> [--len N] [--seed S] [--limit NODES]
+//! motsim xred       <circuit> [--len N] [--seed S] [--static]
+//! motsim tgen       <circuit> [--max-len N] [--seed S] [--compact]
+//! motsim synch      <circuit> [--max-len N] [--seed S]
+//! motsim testeval   <circuit> [--len N] [--seed S] [--limit NODES]
+//! motsim diagnose   <circuit> [--len N] [--seed S] [--inject FAULT#]
+//! motsim dot        <circuit> [--len N] [--seed S] [--output J]
+//! motsim vcd        <circuit> [--len N] [--seed S] [--inject K] [--all-nets]
+//! motsim scoap      <circuit>
+//! motsim list
+//! ```
+//!
+//! `<circuit>` is either a built-in suite name (`g208`, `g298`, … — see
+//! `motsim list`) or a path to an ISCAS-89 `.bench` file.
+
+use std::collections::BTreeSet;
+use std::process::exit;
+use std::time::Instant;
+
+use motsim::dictionary::FaultDictionary;
+use motsim::faults::FaultList;
+use motsim::hybrid::{hybrid_run, HybridConfig};
+use motsim::pattern::TestSequence;
+use motsim::sim3::FaultSim3;
+use motsim::symbolic::Strategy;
+use motsim::synch::{self, SynchConfig};
+use motsim::testeval::{reference_response, SymbolicOutputSequence, TestVerdict};
+use motsim::tgen::{self, TgenConfig};
+use motsim::xred::XRedAnalysis;
+use motsim_netlist::analysis::NetlistStats;
+use motsim_netlist::Netlist;
+
+const USAGE: &str = "\
+usage: motsim <command> <circuit> [options]
+
+commands:
+  stats       structural statistics of the circuit
+  faults      print the collapsed stuck-at fault list
+  sim3        three-valued fault simulation (with ID_X-red pre-pass)
+  strategies  compare SOT / rMOT / MOT coverage (hybrid, node-limited)
+  xred        X-redundancy analysis (add --static for any-sequence mode)
+  tgen        generate a compact fault-oriented test sequence
+  synch       search for a synchronizing sequence (symbolic)
+  testeval    symbolic test evaluation demo (accept good / reject bad)
+  diagnose    fault-dictionary diagnosis demo
+  dot         Graphviz dump of a symbolic output function
+  vcd         Value Change Dump of a (faulty) simulation to stdout
+  scoap       SCOAP testability measures (CC0/CC1/CO per net)
+  list        list the built-in benchmark suite
+
+<circuit> is a suite name (try `motsim list`) or a .bench file path.
+
+options: --len N  --seed S  --limit NODES  --max-len N  --complete
+         --static  --inject K  --output J  --no-xred  --all-nets  --compact";
+
+#[derive(Debug)]
+struct Opts {
+    len: usize,
+    seed: u64,
+    limit: usize,
+    max_len: usize,
+    complete: bool,
+    static_mode: bool,
+    no_xred: bool,
+    inject: usize,
+    output: usize,
+    all_nets: bool,
+    compact: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            len: 200,
+            seed: 0xDAC95,
+            limit: 30_000,
+            max_len: 400,
+            complete: false,
+            static_mode: false,
+            no_xred: false,
+            inject: 0,
+            output: 0,
+            all_nets: false,
+            compact: false,
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    exit(2)
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut i = 0;
+    let num = |args: &[String], i: &mut usize, what: &str| -> usize {
+        *i += 1;
+        args.get(*i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| die(&format!("{what} needs a number")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--len" => o.len = num(args, &mut i, "--len"),
+            "--seed" => o.seed = num(args, &mut i, "--seed") as u64,
+            "--limit" => o.limit = num(args, &mut i, "--limit"),
+            "--max-len" => o.max_len = num(args, &mut i, "--max-len"),
+            "--inject" => o.inject = num(args, &mut i, "--inject"),
+            "--output" => o.output = num(args, &mut i, "--output"),
+            "--complete" => o.complete = true,
+            "--static" => o.static_mode = true,
+            "--no-xred" => o.no_xred = true,
+            "--all-nets" => o.all_nets = true,
+            "--compact" => o.compact = true,
+            other => die(&format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn load_circuit(name: &str) -> Netlist {
+    if let Some(n) = motsim_circuits::suite::by_name(name) {
+        return n;
+    }
+    if name == "s27" {
+        return motsim_circuits::s27();
+    }
+    match std::fs::read_to_string(name) {
+        Ok(text) => {
+            let base = std::path::Path::new(name)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("circuit");
+            match motsim_netlist::parse::parse_bench(base, &text) {
+                Ok(n) => n,
+                Err(e) => die(&format!("cannot parse `{name}`: {e}")),
+            }
+        }
+        Err(e) => die(&format!(
+            "`{name}` is neither a suite circuit nor a readable file ({e})"
+        )),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        die("missing command")
+    };
+    if cmd == "list" {
+        cmd_list();
+        return;
+    }
+    let Some(circuit) = args.get(1) else {
+        die("missing circuit")
+    };
+    let netlist = load_circuit(circuit);
+    let opts = parse_opts(&args[2..]);
+    match cmd.as_str() {
+        "stats" => cmd_stats(&netlist),
+        "faults" => cmd_faults(&netlist, &opts),
+        "sim3" => cmd_sim3(&netlist, &opts),
+        "strategies" => cmd_strategies(&netlist, &opts),
+        "xred" => cmd_xred(&netlist, &opts),
+        "tgen" => cmd_tgen(&netlist, &opts),
+        "synch" => cmd_synch(&netlist, &opts),
+        "testeval" => cmd_testeval(&netlist, &opts),
+        "diagnose" => cmd_diagnose(&netlist, &opts),
+        "dot" => cmd_dot(&netlist, &opts),
+        "vcd" => cmd_vcd(&netlist, &opts),
+        "scoap" => cmd_scoap(&netlist),
+        other => die(&format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_list() {
+    println!("built-in benchmark suite:");
+    for s in motsim_circuits::suite::all() {
+        let n = (s.build)();
+        println!(
+            "  {:<10} ({:>9})  {:>3} PI {:>3} PO {:>4} FF {:>5} gates",
+            s.name,
+            s.paper_name,
+            n.num_inputs(),
+            n.num_outputs(),
+            n.num_dffs(),
+            n.num_gates()
+        );
+    }
+}
+
+fn cmd_stats(netlist: &Netlist) {
+    let st = NetlistStats::of(netlist);
+    println!("circuit {}", netlist.name());
+    println!("  inputs      {}", st.inputs);
+    println!("  outputs     {}", st.outputs);
+    println!("  flip-flops  {}", st.dffs);
+    println!("  gates       {}", st.gates);
+    println!("  depth       {}", st.depth);
+    println!("  stems       {}", st.stems);
+    println!("  max fanout  {}", st.max_fanout);
+    print!("  gate mix    ");
+    for (k, c) in &st.kind_histogram {
+        print!("{k}:{c} ");
+    }
+    println!();
+    let faults = FaultList::collapsed(netlist);
+    println!(
+        "  faults      {} collapsed / {} complete",
+        faults.len(),
+        faults.complete_len()
+    );
+}
+
+fn cmd_faults(netlist: &Netlist, opts: &Opts) {
+    let list = if opts.complete {
+        FaultList::complete(netlist)
+    } else {
+        FaultList::collapsed(netlist)
+    };
+    for (i, f) in list.iter().enumerate() {
+        println!("{i:>5}  {}", f.display(netlist));
+    }
+    eprintln!("{} faults", list.len());
+}
+
+fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
+    let faults = FaultList::collapsed(netlist);
+    let seq = TestSequence::random(netlist, opts.len, opts.seed);
+    let t0 = Instant::now();
+    let (sim_faults, x_red) = if opts.no_xred {
+        (faults.as_slice().to_vec(), 0)
+    } else {
+        let analysis = XRedAnalysis::analyze(netlist, &seq);
+        let (red, rest) = analysis.partition(faults.iter().cloned());
+        (rest, red.len())
+    };
+    let outcome = FaultSim3::run(netlist, &seq, sim_faults.iter().cloned());
+    println!(
+        "{} vectors, {} faults ({} X-redundant eliminated): {} detected in {:?}",
+        opts.len,
+        faults.len(),
+        x_red,
+        outcome.num_detected(),
+        t0.elapsed()
+    );
+    println!(
+        "three-valued coverage (lower bound): {:.2}%",
+        100.0 * outcome.num_detected() as f64 / faults.len() as f64
+    );
+}
+
+fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
+    let faults = FaultList::collapsed(netlist);
+    let seq = TestSequence::random(netlist, opts.len, opts.seed);
+    let three = FaultSim3::run(netlist, &seq, faults.iter().cloned());
+    let hard: Vec<_> = three.undetected_faults().collect();
+    println!(
+        "{}: |F| = {}, three-valued detects {}, {} hard faults remain",
+        netlist.name(),
+        faults.len(),
+        three.num_detected(),
+        hard.len()
+    );
+    let config = HybridConfig {
+        node_limit: opts.limit,
+        fallback_frames: 8,
+    };
+    for strategy in Strategy::ALL {
+        let t0 = Instant::now();
+        let outcome = hybrid_run(netlist, strategy, &seq, hard.iter().cloned(), config);
+        println!(
+            "  {strategy:>4}: +{:<5} detected{} in {:?}",
+            outcome.num_detected(),
+            if outcome.is_approximate() { " (*)" } else { "" },
+            t0.elapsed()
+        );
+    }
+}
+
+fn cmd_xred(netlist: &Netlist, opts: &Opts) {
+    let faults = FaultList::collapsed(netlist);
+    let t0 = Instant::now();
+    let analysis = if opts.static_mode {
+        XRedAnalysis::analyze_static(netlist)
+    } else {
+        let seq = TestSequence::random(netlist, opts.len, opts.seed);
+        XRedAnalysis::analyze(netlist, &seq)
+    };
+    let (red, rest) = analysis.partition(faults.iter().cloned());
+    println!(
+        "{} of {} faults are X-redundant ({}, {:?})",
+        red.len(),
+        faults.len(),
+        if opts.static_mode {
+            "for ANY sequence"
+        } else {
+            "for this sequence"
+        },
+        t0.elapsed()
+    );
+    println!("{} faults remain for simulation", rest.len());
+}
+
+fn cmd_tgen(netlist: &Netlist, opts: &Opts) {
+    let faults = FaultList::collapsed(netlist);
+    let t0 = Instant::now();
+    let mut seq = tgen::generate(
+        netlist,
+        faults.iter().cloned(),
+        TgenConfig {
+            max_len: opts.max_len,
+            seed: opts.seed,
+            ..TgenConfig::default()
+        },
+    );
+    if opts.compact && !seq.is_empty() {
+        let flist: Vec<motsim::Fault> = faults.iter().copied().collect();
+        let r = motsim::compact::compact(netlist, &seq, &flist);
+        eprintln!(
+            "compaction removed {} vector(s) ({} -> {})",
+            r.removed,
+            seq.len(),
+            r.sequence.len()
+        );
+        seq = r.sequence;
+    }
+    let outcome = FaultSim3::run(netlist, &seq, faults.iter().cloned());
+    eprintln!(
+        "generated {} vectors detecting {}/{} faults in {:?}",
+        seq.len(),
+        outcome.num_detected(),
+        faults.len(),
+        t0.elapsed()
+    );
+    print!("{seq}");
+}
+
+fn cmd_synch(netlist: &Netlist, opts: &Opts) {
+    let t0 = Instant::now();
+    match synch::find_synchronizing_sequence(
+        netlist,
+        SynchConfig {
+            max_len: opts.max_len.min(256),
+            seed: opts.seed,
+            ..SynchConfig::default()
+        },
+    ) {
+        Some(seq) => {
+            let p = synch::profile(netlist, &seq);
+            eprintln!(
+                "synchronizing sequence of length {} found in {:?} \
+                 (three-valued logic {} it)",
+                seq.len(),
+                t0.elapsed(),
+                if p.synchronizes_v3() {
+                    "also finds"
+                } else {
+                    "provably cannot find"
+                }
+            );
+            print!("{seq}");
+        }
+        None => {
+            eprintln!(
+                "no synchronizing sequence found within {} frames ({:?})",
+                opts.max_len.min(256),
+                t0.elapsed()
+            );
+            exit(1);
+        }
+    }
+}
+
+fn cmd_testeval(netlist: &Netlist, opts: &Opts) {
+    let seq = TestSequence::random(netlist, opts.len, opts.seed);
+    let t0 = Instant::now();
+    let sos = SymbolicOutputSequence::compute(netlist, &seq, Some(opts.limit));
+    println!(
+        "symbolic output sequence built in {:?}: shared BDD size {}, prefix {}",
+        t0.elapsed(),
+        sos.bdd_size(),
+        sos.prefix_len()
+    );
+    let good = reference_response(netlist, &seq, &vec![false; netlist.num_dffs()]);
+    let t0 = Instant::now();
+    match sos.evaluate(&good) {
+        TestVerdict::Consistent { witnesses } => println!(
+            "fault-free response accepted in {:?} ({witnesses} witness state(s))",
+            t0.elapsed()
+        ),
+        TestVerdict::Faulty { .. } => unreachable!("fault-free response rejected"),
+    }
+    let mut bad = good;
+    // Flip the first observation that is state-independent.
+    'outer: for t in 0..seq.len() {
+        for j in 0..netlist.num_outputs() {
+            let mut flipped = bad.clone();
+            flipped[t][j] = !flipped[t][j];
+            if sos.evaluate(&flipped).is_faulty() {
+                bad = flipped;
+                println!("flipping frame {t}, output {j}:");
+                break 'outer;
+            }
+        }
+    }
+    match sos.evaluate(&bad) {
+        TestVerdict::Faulty { frame, output } => println!(
+            "corrupted response rejected (product collapsed at frame {frame}, output {output})"
+        ),
+        TestVerdict::Consistent { .. } => {
+            println!("no single-bit corruption is provably faulty on this circuit")
+        }
+    }
+}
+
+fn cmd_diagnose(netlist: &Netlist, opts: &Opts) {
+    let faults = FaultList::collapsed(netlist);
+    let seq = TestSequence::random(netlist, opts.len, opts.seed);
+    let t0 = Instant::now();
+    let dict = FaultDictionary::build(netlist, &seq, faults.iter().cloned());
+    println!(
+        "dictionary over {} faults / {} frames built in {:?}",
+        dict.len(),
+        dict.frames(),
+        t0.elapsed()
+    );
+    let classes = dict.equivalence_classes();
+    println!(
+        "{} indistinguishable group(s); largest has {} members",
+        classes.len(),
+        classes.first().map(|c| c.len()).unwrap_or(0)
+    );
+    // Inject the k-th detectable fault and diagnose from its signature.
+    let detectable: Vec<_> = dict.detectable().collect();
+    if detectable.is_empty() {
+        println!("no detectable faults to diagnose");
+        return;
+    }
+    let fault = detectable[opts.inject.min(detectable.len() - 1)];
+    let observed: BTreeSet<_> = dict.signature(fault).unwrap().clone();
+    let candidates = dict.diagnose(&observed);
+    println!(
+        "injected {}: {} observed failure(s) -> {} candidate(s):",
+        fault.display(netlist),
+        observed.len(),
+        candidates.len()
+    );
+    for c in candidates.iter().take(10) {
+        println!("  {}", c.display(netlist));
+    }
+    if candidates.len() > 10 {
+        println!("  … and {} more", candidates.len() - 10);
+    }
+}
+
+fn cmd_dot(netlist: &Netlist, opts: &Opts) {
+    if opts.output >= netlist.num_outputs() {
+        die(&format!(
+            "--output {} out of range (circuit has {} outputs)",
+            opts.output,
+            netlist.num_outputs()
+        ));
+    }
+    let seq = TestSequence::random(netlist, opts.len.min(50), opts.seed);
+    let mut sim = motsim::symbolic::SymbolicTrueSim::new(netlist);
+    for v in &seq {
+        sim.step(v).expect("unlimited");
+    }
+    let o = &sim.outputs()[opts.output];
+    let name = netlist
+        .net(netlist.outputs()[opts.output])
+        .name()
+        .to_owned();
+    let dot = motsim_bdd::to_dot(&[(&name, o)], |v| {
+        let q = netlist.dffs()[v.index()];
+        format!("init({})", netlist.net(q).name())
+    });
+    eprintln!(
+        "output {} after {} frames: {} BDD node(s)",
+        name,
+        seq.len(),
+        o.size()
+    );
+    println!("{dot}");
+}
+
+fn cmd_vcd(netlist: &Netlist, opts: &Opts) {
+    use motsim::vcd::{dump_with_fault, Scope};
+    let seq = TestSequence::random(netlist, opts.len, opts.seed);
+    let scope = if opts.all_nets {
+        Scope::All
+    } else {
+        Scope::Interface
+    };
+    let fault = if opts.inject > 0 {
+        let faults = FaultList::collapsed(netlist);
+        let f = faults
+            .as_slice()
+            .get(opts.inject - 1)
+            .copied()
+            .unwrap_or_else(|| die("--inject index out of range"));
+        eprintln!("injecting fault #{}: {}", opts.inject, f.display(netlist));
+        Some(f)
+    } else {
+        None
+    };
+    print!("{}", dump_with_fault(netlist, &seq, fault, scope));
+}
+
+fn cmd_scoap(netlist: &Netlist) {
+    use motsim::testability::{Testability, INFINITY};
+    let t = Testability::analyze(netlist);
+    println!("{:<12} {:>8} {:>8} {:>8}", "net", "CC0", "CC1", "CO");
+    let show = |v: u32| {
+        if v >= INFINITY {
+            "inf".to_owned()
+        } else {
+            v.to_string()
+        }
+    };
+    for id in netlist.net_ids() {
+        println!(
+            "{:<12} {:>8} {:>8} {:>8}",
+            netlist.net(id).name(),
+            show(t.cc0(id)),
+            show(t.cc1(id)),
+            show(t.co(id))
+        );
+    }
+    let faults = FaultList::collapsed(netlist);
+    let untestable = faults.iter().filter(|f| t.is_untestable(**f)).count();
+    eprintln!(
+        "{} of {} collapsed faults are SCOAP-untestable",
+        untestable,
+        faults.len()
+    );
+}

@@ -1,0 +1,117 @@
+//! End-to-end tests of the `motsim` binary.
+
+use std::process::Command;
+
+fn motsim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_motsim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_shows_suite() {
+    let out = motsim(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("g208"));
+    assert!(text.contains("s208.1"));
+}
+
+#[test]
+fn stats_on_suite_circuit() {
+    let out = motsim(&["stats", "g27"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("flip-flops  3"));
+    assert!(text.contains("faults"));
+}
+
+#[test]
+fn sim3_reports_coverage() {
+    let out = motsim(&["sim3", "s27", "--len", "50"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("coverage"));
+}
+
+#[test]
+fn strategies_ranks_engines() {
+    let out = motsim(&["strategies", "g27", "--len", "30"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SOT"));
+    assert!(text.contains("rMOT"));
+    assert!(text.contains("MOT"));
+}
+
+#[test]
+fn tgen_emits_parsable_vectors() {
+    let out = motsim(&["tgen", "s27", "--max-len", "20"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for line in text.lines() {
+        assert_eq!(line.len(), 4, "s27 has 4 inputs: `{line}`");
+        assert!(line.chars().all(|c| c == '0' || c == '1'));
+    }
+}
+
+#[test]
+fn vcd_emits_header() {
+    let out = motsim(&["vcd", "s27", "--len", "5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("$date"));
+    assert!(text.contains("$enddefinitions $end"));
+}
+
+#[test]
+fn scoap_lists_all_nets() {
+    let out = motsim(&["scoap", "s27"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 1 + 17, "header + 17 nets");
+}
+
+#[test]
+fn bench_file_path_accepted() {
+    let dir = std::env::temp_dir().join("motsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.bench");
+    std::fs::write(&path, "INPUT(A)\nOUTPUT(Y)\nQ = DFF(Y)\nY = NAND(A, Q)\n").unwrap();
+    let out = motsim(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("circuit tiny"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = motsim(&["frobnicate", "s27"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn unknown_circuit_fails() {
+    let out = motsim(&["stats", "does-not-exist"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn synch_fails_gracefully_on_unsynchronizable() {
+    // The partial counter's upper bits never synchronize.
+    let out = motsim(&["synch", "g208", "--max-len", "16"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no synchronizing sequence"));
+}
+
+#[test]
+fn diagnose_names_candidates() {
+    let out = motsim(&["diagnose", "s27", "--len", "60"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("candidate"));
+}

@@ -1,0 +1,309 @@
+//! The hybrid fault simulator: symbolic with three-valued fallback.
+//!
+//! The symbolic engine is exact but its OBDDs can blow up. Following the
+//! paper (and \[8\]), the hybrid simulator runs symbolically under a
+//! live-node limit; when an operation would exceed it, the symbolic states
+//! are *projected* to three values (constants stay known, everything else
+//! becomes `X`), a few frames are simulated with the fast three-valued
+//! engine (detecting via the pessimistic SOT rule), and then the symbolic
+//! strategy resumes from the projected states — with the detection
+//! functions re-initialised to **1**, exactly as Section IV.A prescribes.
+//!
+//! The projection is an over-approximation of the reachable state sets of
+//! both machines, so every fault the hybrid marks detected is genuinely
+//! detected; accuracy (not soundness) is what the fallback costs. That is
+//! the mechanism behind the paper's s838.1 anomaly, where MOT — whose
+//! `(x, y)` BDDs are bigger — falls back more often than rMOT and ends up
+//! *less* accurate.
+
+use motsim_bdd::BddError;
+use motsim_logic::V3;
+use motsim_netlist::Netlist;
+
+use crate::faults::Fault;
+use crate::pattern::TestSequence;
+use crate::report::{Detection, FaultOutcome, SimOutcome};
+use crate::sim3::FaultSim3;
+use crate::symbolic::{Strategy, SymbolicFaultSim};
+
+/// Configuration of the hybrid simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Live-node limit of the symbolic phases (the paper uses 30,000).
+    pub node_limit: usize,
+    /// Number of three-valued frames per fallback ("a few simulation
+    /// steps" in the paper).
+    pub fallback_frames: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            node_limit: 30_000,
+            fallback_frames: 8,
+        }
+    }
+}
+
+/// Runs the hybrid simulation of `faults` over `seq` under `strategy`.
+///
+/// Never fails: node-limit pressure is absorbed by three-valued fallback
+/// phases. The returned outcome's
+/// [`fallback_frames`](SimOutcome::fallback_frames) counts the frames that
+/// ran three-valued (non-zero ⇒ the tables' asterisk; the result is then a
+/// sound lower bound rather than the exact strategy coverage).
+///
+/// # Example
+///
+/// ```
+/// use motsim::hybrid::{hybrid_run, HybridConfig};
+/// use motsim::symbolic::Strategy;
+/// use motsim::{FaultList, TestSequence};
+///
+/// let circuit = motsim_circuits::generators::counter(8);
+/// let faults = FaultList::collapsed(&circuit);
+/// let seq = TestSequence::random(&circuit, 50, 1);
+/// let outcome = hybrid_run(
+///     &circuit,
+///     Strategy::Mot,
+///     &seq,
+///     faults.iter().cloned(),
+///     HybridConfig::default(),
+/// );
+/// assert_eq!(outcome.frames, 50);
+/// ```
+/// Projected three-valued states carried between hybrid phases.
+type Carry = (Vec<V3>, Vec<(Fault, Vec<V3>)>);
+
+pub fn hybrid_run(
+    netlist: &Netlist,
+    strategy: Strategy,
+    seq: &TestSequence,
+    faults: impl IntoIterator<Item = Fault>,
+    config: HybridConfig,
+) -> SimOutcome {
+    let order: Vec<Fault> = faults.into_iter().collect();
+    let mut detections: std::collections::HashMap<Fault, Detection> =
+        std::collections::HashMap::new();
+
+    let mut t = 0usize;
+    let mut fallback_total = 0usize;
+    let mut degraded_total = 0usize;
+    let mut zero_progress_phases = 0usize;
+    // `None` marks the virgin all-unknown state at t = 0 (fresh variables
+    // encode it exactly); `Some` carries projected states between phases.
+    let mut carry: Option<Carry> = None;
+
+    while t < seq.len() {
+        // ---- Symbolic phase ----
+        let mut sym = SymbolicFaultSim::new(netlist, strategy);
+        sym.set_node_limit(Some(config.node_limit));
+        match &carry {
+            None => {
+                for &f in &order {
+                    sym.add_fault(f);
+                }
+            }
+            Some((true_v3, faulty_v3)) => {
+                sym.seed_true_state(true_v3);
+                for (f, st) in faulty_v3 {
+                    sym.add_fault_with_state(*f, st);
+                }
+            }
+        }
+        let phase_start = t;
+        let mut progressed = 0usize;
+        while t < seq.len() {
+            match sym.step(seq.vector(t)) {
+                Ok(newly) => {
+                    for f in newly {
+                        detections.entry(f).or_insert(Detection {
+                            frame: t,
+                            output: 0,
+                        });
+                    }
+                    t += 1;
+                    progressed += 1;
+                }
+                Err(BddError::NodeLimit { .. }) => break,
+            }
+        }
+        // Fold in exact per-output detection info from the phase outcome.
+        for r in sym.outcome().results {
+            if let Some(d) = r.detection {
+                detections.insert(
+                    r.fault,
+                    Detection {
+                        frame: phase_start + d.frame,
+                        output: d.output,
+                    },
+                );
+            }
+        }
+        degraded_total += sym.degraded_terms();
+        if t >= seq.len() {
+            break;
+        }
+
+        // ---- Three-valued fallback phase ----
+        let true_v3 = sym.true_state_v3();
+        let faulty_v3 = sym.faulty_states_v3();
+        drop(sym);
+        // Track symbolic phases that made no progress at all. A few are
+        // tolerated (a later, better-synchronized state may fit the limit);
+        // a persistent pattern means the limit is simply too small for this
+        // circuit, and the remainder runs three-valued.
+        if progressed == 0 && carry.is_some() {
+            zero_progress_phases += 1;
+        } else {
+            zero_progress_phases = 0;
+        }
+        let frames_here = if zero_progress_phases >= 4 {
+            seq.len() - t
+        } else {
+            config.fallback_frames.min(seq.len() - t)
+        };
+        let mut tv = FaultSim3::with_states(netlist, &true_v3, faulty_v3);
+        for _ in 0..frames_here {
+            let newly = tv.step(seq.vector(t));
+            for f in newly {
+                detections.entry(f).or_insert(Detection {
+                    frame: t,
+                    output: 0,
+                });
+            }
+            t += 1;
+        }
+        fallback_total += frames_here;
+        carry = Some((tv.true_state().to_vec(), tv.faulty_states()));
+    }
+
+    SimOutcome {
+        results: order
+            .iter()
+            .map(|&fault| FaultOutcome {
+                fault,
+                detection: detections.get(&fault).copied(),
+            })
+            .collect(),
+        frames: seq.len(),
+        fallback_frames: fallback_total,
+        degraded_terms: degraded_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultList;
+    use crate::symbolic::SymbolicFaultSim;
+
+    #[test]
+    fn unlimited_hybrid_equals_pure_symbolic() {
+        let n = motsim_circuits::s27();
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 40, 9);
+        for strategy in Strategy::ALL {
+            let pure = SymbolicFaultSim::new(&n, strategy)
+                .run(&seq, faults.iter().cloned())
+                .unwrap();
+            let hyb = hybrid_run(
+                &n,
+                strategy,
+                &seq,
+                faults.iter().cloned(),
+                HybridConfig {
+                    node_limit: 1_000_000,
+                    fallback_frames: 4,
+                },
+            );
+            assert_eq!(hyb.fallback_frames, 0, "{strategy} should not fall back");
+            for (a, b) in pure.results.iter().zip(&hyb.results) {
+                assert_eq!(a.fault, b.fault);
+                assert_eq!(
+                    a.detection.is_some(),
+                    b.detection.is_some(),
+                    "{strategy} differs on {}",
+                    a.fault.display(&n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_limit_forces_fallback_but_terminates() {
+        let n = motsim_circuits::generators::counter(10);
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 40, 4);
+        let out = hybrid_run(
+            &n,
+            Strategy::Mot,
+            &seq,
+            faults.iter().cloned(),
+            HybridConfig {
+                node_limit: 200,
+                fallback_frames: 5,
+            },
+        );
+        assert_eq!(out.frames, 40);
+        assert!(out.fallback_frames > 0, "tiny limit must force fallback");
+        assert!(out.is_approximate());
+    }
+
+    #[test]
+    fn hybrid_detections_are_sound() {
+        // Everything the limited hybrid detects must also be detected by
+        // the exact (unlimited) engine of the same strategy.
+        let n = motsim_circuits::generators::counter(6);
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 30, 14);
+        let exact = SymbolicFaultSim::new(&n, Strategy::Mot)
+            .run(&seq, faults.iter().cloned())
+            .unwrap();
+        let exact_set: std::collections::HashSet<Fault> = exact.detected_faults().collect();
+        let hyb = hybrid_run(
+            &n,
+            Strategy::Mot,
+            &seq,
+            faults.iter().cloned(),
+            HybridConfig {
+                node_limit: 400,
+                fallback_frames: 3,
+            },
+        );
+        for f in hyb.detected_faults() {
+            assert!(
+                exact_set.contains(&f),
+                "hybrid claims {} but exact MOT disagrees",
+                f.display(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_at_least_three_valued() {
+        // The hybrid can only be more accurate than pure three-valued
+        // simulation (its fallback *is* three-valued simulation).
+        let n = motsim_circuits::generators::counter(8);
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 40, 2);
+        let three = FaultSim3::run(&n, &seq, faults.iter().cloned());
+        let hyb = hybrid_run(
+            &n,
+            Strategy::Rmot,
+            &seq,
+            faults.iter().cloned(),
+            HybridConfig {
+                node_limit: 2_000,
+                fallback_frames: 4,
+            },
+        );
+        assert!(hyb.num_detected() >= three.num_detected());
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = HybridConfig::default();
+        assert_eq!(c.node_limit, 30_000);
+    }
+}

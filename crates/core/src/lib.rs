@@ -1,0 +1,85 @@
+//! Symbolic fault simulation for synchronous sequential circuits and the
+//! multiple observation time test strategy.
+//!
+//! This crate implements the DAC'95 paper by Krieger, Becker and Keim:
+//! fault simulation for circuits with an *unknown initial state*, where the
+//! classical three-valued logic only yields a lower bound on fault coverage.
+//!
+//! The pipeline, in paper order:
+//!
+//! 1. [`faults`] — the single-stuck-at fault model over *leads* (stems and
+//!    fanout branches) with structural equivalence collapsing.
+//! 2. [`xred`] — the `ID_X-red` procedure (Section III): a linear-time
+//!    pre-pass identifying faults a given test sequence provably cannot
+//!    detect under three-valued logic + SOT, eliminating them before the
+//!    expensive simulation.
+//! 3. [`sim3`] — the three-valued true-value and fault simulators (the
+//!    `X01` baseline of Table I).
+//! 4. [`symbolic`] — the OBDD-based fault simulator supporting the
+//!    [`Strategy`](symbolic::Strategy) variants **SOT**, **rMOT** and
+//!    **MOT** (Section IV.A), including the detection function
+//!    `D_{f,Z}(x,y)` and event-driven single-fault propagation.
+//! 5. [`hybrid`] — the space-limited hybrid simulator that falls back to
+//!    three-valued simulation when the OBDD node limit is exceeded and
+//!    resumes symbolically afterwards.
+//! 6. [`testeval`] — symbolic test evaluation (Section IV.B, Table IV).
+//! 7. [`tgen`] — fault-simulation-guided generation of compact
+//!    ("deterministic") test sequences for Table III.
+//! 8. [`simb`] — a bit-parallel Boolean simulator, used by the
+//!    [`exhaustive`] brute-force oracle that validates the symbolic engines
+//!    on small circuits, and as a fast pattern evaluator.
+//!
+//! Around the pipeline, the crate ships the downstream tooling a fault
+//! simulator enables:
+//!
+//! - [`pfsim`] — word-parallel fault simulation for circuits *with* a known
+//!   reset state (the HOPE-style \[10\] baseline),
+//! - [`synch`] — synchronizing-sequence search and profiling (exact,
+//!   BDD-based — succeeds on the circuit classes of \[11\] where any
+//!   three-valued search must fail),
+//! - [`dictionary`] — pass/fail fault dictionaries and diagnosis,
+//! - [`compact`] — test-sequence compaction by vector omission,
+//! - [`ordering`] — static BDD variable-ordering heuristics for the state
+//!   encoding,
+//! - [`testability`] — SCOAP controllability/observability measures \[6\],
+//! - [`vcd`] — Value Change Dump export of (faulty) simulations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use motsim::faults::FaultList;
+//! use motsim::pattern::TestSequence;
+//! use motsim::symbolic::{Strategy, SymbolicFaultSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = motsim_circuits::s27();
+//! let faults = FaultList::collapsed(&circuit);
+//! let seq = TestSequence::random(&circuit, 20, 0xDAC95);
+//! let outcome = SymbolicFaultSim::new(&circuit, Strategy::Mot)
+//!     .run(&seq, faults.iter().cloned())?;
+//! println!("{} of {} faults detected", outcome.num_detected(), faults.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compact;
+pub mod dictionary;
+pub mod exhaustive;
+pub mod faults;
+pub mod hybrid;
+pub mod ordering;
+pub mod pattern;
+pub mod pfsim;
+pub mod report;
+pub mod sim3;
+pub mod simb;
+pub mod symbolic;
+pub mod synch;
+pub mod testability;
+pub mod testeval;
+pub mod tgen;
+pub mod vcd;
+pub mod xred;
+
+pub use faults::{Fault, FaultList};
+pub use pattern::TestSequence;

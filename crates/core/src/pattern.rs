@@ -1,0 +1,208 @@
+//! Test sequences: vectors of primary-input values.
+
+use std::fmt;
+
+use motsim_netlist::Netlist;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A test sequence `Z = (z(1), …, z(n))`: one fully specified binary input
+/// vector per clock cycle.
+///
+/// The paper's experiments use fully specified vectors (random or
+/// deterministic); the unknown lives in the *state*, not the inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSequence {
+    width: usize,
+    vectors: Vec<Vec<bool>>,
+}
+
+impl TestSequence {
+    /// Creates a sequence from explicit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not all have width `width`.
+    pub fn new(width: usize, vectors: Vec<Vec<bool>>) -> Self {
+        assert!(
+            vectors.iter().all(|v| v.len() == width),
+            "all vectors must have width {width}"
+        );
+        TestSequence { width, vectors }
+    }
+
+    /// Creates an empty sequence for a circuit.
+    pub fn empty(netlist: &Netlist) -> Self {
+        TestSequence {
+            width: netlist.num_inputs(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// A uniformly random sequence of `len` vectors for `netlist`,
+    /// deterministic in `seed` (the paper's "200 random vectors").
+    pub fn random(netlist: &Netlist, len: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let width = netlist.num_inputs();
+        let vectors = (0..len)
+            .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        TestSequence { width, vectors }
+    }
+
+    /// Parses a sequence from lines of `0`/`1` characters (one vector per
+    /// line; blank lines and `#` comments ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(width: usize, text: &str) -> Result<Self, String> {
+        let mut vectors = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.len() != width {
+                return Err(format!(
+                    "line {}: expected {} bits, got {}",
+                    i + 1,
+                    width,
+                    line.len()
+                ));
+            }
+            let mut v = Vec::with_capacity(width);
+            for c in line.chars() {
+                match c {
+                    '0' => v.push(false),
+                    '1' => v.push(true),
+                    other => return Err(format!("line {}: bad character `{other}`", i + 1)),
+                }
+            }
+            vectors.push(v);
+        }
+        Ok(TestSequence { width, vectors })
+    }
+
+    /// Number of input bits per vector.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sequence length `n` (`|T|` / `|Z|` in the tables).
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` if the sequence has no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The vector applied at (1-based) time `t`'s frame index `t-1`.
+    pub fn vector(&self, index: usize) -> &[bool] {
+        &self.vectors[index]
+    }
+
+    /// Iterates over vectors in application order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<bool>> {
+        self.vectors.iter()
+    }
+
+    /// Appends a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn push(&mut self, v: Vec<bool>) {
+        assert_eq!(v.len(), self.width, "vector width mismatch");
+        self.vectors.push(v);
+    }
+
+    /// A sub-sequence of the frames `range` (e.g. for hybrid fallback runs).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> TestSequence {
+        TestSequence {
+            width: self.width,
+            vectors: self.vectors[range].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for TestSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.vectors {
+            for &b in v {
+                write!(f, "{}", b as u8)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a TestSequence {
+    type Item = &'a Vec<bool>;
+    type IntoIter = std::slice::Iter<'a, Vec<bool>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vectors.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        let n = motsim_circuits::s27();
+        let a = TestSequence::random(&n, 50, 1);
+        let b = TestSequence::random(&n, 50, 1);
+        let c = TestSequence::random(&n, 50, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.width(), 4);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s = TestSequence::parse(3, "101\n# comment\n\n011\n").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.vector(0), &[true, false, true]);
+        let text = s.to_string();
+        let again = TestSequence::parse(3, &text).unwrap();
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(TestSequence::parse(3, "10").is_err());
+        assert!(TestSequence::parse(2, "1x").is_err());
+    }
+
+    #[test]
+    fn push_and_slice() {
+        let mut s = TestSequence::new(2, vec![vec![true, false]]);
+        s.push(vec![false, false]);
+        assert_eq!(s.len(), 2);
+        let sub = s.slice(1..2);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.vector(0), &[false, false]);
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_checks_width() {
+        let mut s = TestSequence::new(2, vec![]);
+        s.push(vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 2")]
+    fn new_checks_width() {
+        TestSequence::new(2, vec![vec![true]]);
+    }
+}

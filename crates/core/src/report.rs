@@ -1,0 +1,172 @@
+//! Shared result types for fault-simulation runs and table formatting.
+
+use std::fmt;
+
+use crate::faults::Fault;
+
+/// Where and when a fault was first marked detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// 0-based frame index (the paper's time `t` is `frame + 1`).
+    pub frame: usize,
+    /// Index of the primary output that exposed the fault, when a single
+    /// output is responsible (SOT). For MOT/rMOT detections driven by the
+    /// detection function collapsing to **0**, the output of the final
+    /// product term is reported.
+    pub output: usize,
+}
+
+/// Per-fault result of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The simulated fault.
+    pub fault: Fault,
+    /// `Some` if the fault was detected.
+    pub detection: Option<Detection>,
+}
+
+/// Result of a fault-simulation run over a test sequence.
+#[derive(Debug, Clone, Default)]
+pub struct SimOutcome {
+    /// One entry per simulated fault, in input order.
+    pub results: Vec<FaultOutcome>,
+    /// Number of frames simulated.
+    pub frames: usize,
+    /// Frames executed in three-valued fallback mode by the hybrid
+    /// simulator (0 for pure runs). A non-zero value corresponds to the
+    /// asterisk annotations in Tables II/III.
+    pub fallback_frames: usize,
+    /// Detection-function terms the MOT/rMOT engine had to *skip* because
+    /// they exceeded the node limit even after garbage collection. Skipping
+    /// a term keeps the run sound (the product only grows) but makes the
+    /// result a lower bound — the "less accurate MOT" trade-off of \[13\].
+    pub degraded_terms: usize,
+}
+
+impl SimOutcome {
+    /// Number of faults marked detectable.
+    pub fn num_detected(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.detection.is_some())
+            .count()
+    }
+
+    /// Number of faults not detected by the sequence.
+    pub fn num_undetected(&self) -> usize {
+        self.results.len() - self.num_detected()
+    }
+
+    /// Iterates over the detected faults.
+    pub fn detected_faults(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.results
+            .iter()
+            .filter(|r| r.detection.is_some())
+            .map(|r| r.fault)
+    }
+
+    /// Iterates over the undetected faults.
+    pub fn undetected_faults(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.results
+            .iter()
+            .filter(|r| r.detection.is_none())
+            .map(|r| r.fault)
+    }
+
+    /// Fault coverage over the simulated set, in percent.
+    pub fn coverage_percent(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.num_detected() as f64 / self.results.len() as f64
+    }
+
+    /// `true` if the run lost accuracy to the node limit — three-valued
+    /// fallback frames or skipped detection terms (the tables' asterisk).
+    pub fn is_approximate(&self) -> bool {
+        self.fallback_frames > 0 || self.degraded_terms > 0
+    }
+}
+
+impl fmt::Display for SimOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected over {} frames{}",
+            self.num_detected(),
+            self.results.len(),
+            self.frames,
+            if self.is_approximate() { " (*)" } else { "" }
+        )
+    }
+}
+
+/// Right-aligns `s` into a cell of width `w` (simple fixed-width table
+/// helper for the experiment binaries).
+pub fn cell(s: impl fmt::Display, w: usize) -> String {
+    format!("{:>w$}", s.to_string(), w = w)
+}
+
+/// Formats seconds with the paper's precision (two decimals).
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motsim_netlist::Lead;
+    use motsim_netlist::NetId;
+
+    fn fake(detected: bool) -> FaultOutcome {
+        FaultOutcome {
+            fault: Fault::stuck_at_0(Lead::stem(NetId::from_index(0))),
+            detection: detected.then_some(Detection {
+                frame: 1,
+                output: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn counting() {
+        let o = SimOutcome {
+            results: vec![fake(true), fake(false), fake(true)],
+            frames: 10,
+            fallback_frames: 0,
+            degraded_terms: 0,
+        };
+        assert_eq!(o.num_detected(), 2);
+        assert_eq!(o.num_undetected(), 1);
+        assert_eq!(o.detected_faults().count(), 2);
+        assert_eq!(o.undetected_faults().count(), 1);
+        assert!((o.coverage_percent() - 66.66).abs() < 0.1);
+        assert!(!o.is_approximate());
+        assert_eq!(o.to_string(), "2/3 faults detected over 10 frames");
+    }
+
+    #[test]
+    fn approximate_marker() {
+        let o = SimOutcome {
+            results: vec![fake(true)],
+            frames: 5,
+            fallback_frames: 2,
+            degraded_terms: 0,
+        };
+        assert!(o.is_approximate());
+        assert!(o.to_string().ends_with("(*)"));
+    }
+
+    #[test]
+    fn empty_outcome() {
+        let o = SimOutcome::default();
+        assert_eq!(o.coverage_percent(), 0.0);
+        assert_eq!(o.num_detected(), 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(cell(42, 5), "   42");
+        assert_eq!(secs(std::time::Duration::from_millis(1234)), "1.23");
+    }
+}

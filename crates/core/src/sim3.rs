@@ -1,0 +1,716 @@
+//! Three-valued true-value and fault simulation (the `X01` baseline).
+//!
+//! The circuit starts in the all-`X` state (unknown initial state). The
+//! [`TrueSim`] runs the fault-free machine; [`FaultSim3`] additionally
+//! simulates every fault with event-driven single-fault propagation and the
+//! three-valued SOT detection rule: a fault is detected at a primary output
+//! when the fault-free value is a known `0`/`1`, the faulty value is known,
+//! and they differ. As the paper (after \[11\]) notes, this only establishes a
+//! *lower bound* on the true fault coverage — that gap is what the symbolic
+//! engines close.
+
+use motsim_logic::{eval_gate, V3};
+use motsim_netlist::{Lead, NetId, Netlist, NodeKind};
+
+use crate::faults::Fault;
+use crate::pattern::TestSequence;
+use crate::report::{Detection, FaultOutcome, SimOutcome};
+
+/// Three-valued true-value (fault-free) simulator with a per-frame API.
+#[derive(Debug, Clone)]
+pub struct TrueSim<'a> {
+    netlist: &'a Netlist,
+    state: Vec<V3>,
+    values: Vec<V3>,
+    frame: usize,
+}
+
+impl<'a> TrueSim<'a> {
+    /// Creates a simulator in the all-`X` initial state.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        TrueSim {
+            netlist,
+            state: vec![V3::X; netlist.num_dffs()],
+            values: vec![V3::X; netlist.num_nets()],
+            frame: 0,
+        }
+    }
+
+    /// Applies one input vector; afterwards [`values`](Self::values) holds
+    /// the three-valued value of every net and the state has advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the circuit's input count.
+    pub fn step(&mut self, inputs: &[bool]) {
+        eval_frame(self.netlist, &self.state, inputs, &mut self.values);
+        for (i, &q) in self.netlist.dffs().iter().enumerate() {
+            self.state[i] = self.values[self.netlist.dff_d(q).index()];
+        }
+        self.frame += 1;
+    }
+
+    /// Per-net values of the most recent frame (all `X` before any step).
+    pub fn values(&self) -> &[V3] {
+        &self.values
+    }
+
+    /// The value of `net` in the most recent frame.
+    pub fn value(&self, net: NetId) -> V3 {
+        self.values[net.index()]
+    }
+
+    /// Primary-output values of the most recent frame.
+    pub fn outputs(&self) -> Vec<V3> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// The present state (after the last step).
+    pub fn state(&self) -> &[V3] {
+        &self.state
+    }
+
+    /// Overwrites the present state (used by the hybrid simulator when
+    /// leaving symbolic mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the flip-flop count.
+    pub fn set_state(&mut self, state: &[V3]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Frames simulated so far.
+    pub fn frames(&self) -> usize {
+        self.frame
+    }
+}
+
+/// Evaluates one combinational frame into `values` (indexed by net).
+///
+/// # Panics
+///
+/// Panics if `inputs`/`state` lengths do not match the circuit.
+pub fn eval_frame(netlist: &Netlist, state: &[V3], inputs: &[bool], values: &mut Vec<V3>) {
+    assert_eq!(inputs.len(), netlist.num_inputs(), "input width mismatch");
+    assert_eq!(state.len(), netlist.num_dffs(), "state width mismatch");
+    values.clear();
+    values.resize(netlist.num_nets(), V3::X);
+    for (i, &pi) in netlist.inputs().iter().enumerate() {
+        values[pi.index()] = V3::from_bool(inputs[i]);
+    }
+    for (i, &q) in netlist.dffs().iter().enumerate() {
+        values[q.index()] = state[i];
+    }
+    let mut fanin_buf: Vec<V3> = Vec::with_capacity(8);
+    for &g in netlist.eval_order() {
+        let net = netlist.net(g);
+        let NodeKind::Gate(kind) = net.kind() else {
+            unreachable!("eval order contains only gates")
+        };
+        fanin_buf.clear();
+        fanin_buf.extend(net.fanin().iter().map(|f| values[f.index()]));
+        values[g.index()] = eval_gate(kind, &fanin_buf);
+    }
+}
+
+/// Evaluates one combinational frame of the *faulty* machine by full
+/// re-simulation with the stuck-at overrides applied (stem forcing at the
+/// site, branch forcing at the sink pin). The event-driven simulator in
+/// [`FaultSim3`] computes the same values sparsely; this dense variant is
+/// the reference implementation shared by the fault dictionary, the VCD
+/// dumper and the benchmark baselines.
+///
+/// # Panics
+///
+/// Panics if `inputs`/`state` lengths do not match the circuit.
+pub fn eval_frame_with_fault(
+    netlist: &Netlist,
+    state: &[V3],
+    inputs: &[bool],
+    fault: Fault,
+    values: &mut Vec<V3>,
+) {
+    assert_eq!(inputs.len(), netlist.num_inputs(), "input width mismatch");
+    assert_eq!(state.len(), netlist.num_dffs(), "state width mismatch");
+    let forced = V3::from_bool(fault.stuck);
+    values.clear();
+    values.resize(netlist.num_nets(), V3::X);
+    for (i, &pi) in netlist.inputs().iter().enumerate() {
+        values[pi.index()] = V3::from_bool(inputs[i]);
+    }
+    for (i, &q) in netlist.dffs().iter().enumerate() {
+        values[q.index()] = state[i];
+    }
+    // Stem fault on a source (input or flip-flop output).
+    if fault.lead.sink.is_none() && !netlist.net(fault.lead.net).kind().is_gate() {
+        values[fault.lead.net.index()] = forced;
+    }
+    let mut buf: Vec<V3> = Vec::with_capacity(8);
+    for &g in netlist.eval_order() {
+        let net = netlist.net(g);
+        let NodeKind::Gate(kind) = net.kind() else {
+            continue;
+        };
+        buf.clear();
+        for (pin, &f) in net.fanin().iter().enumerate() {
+            let mut v = values[f.index()];
+            if fault.lead == Lead::branch(f, g, pin as u32) {
+                v = forced;
+            }
+            buf.push(v);
+        }
+        let mut out = eval_gate(kind, &buf);
+        if fault.lead == Lead::stem(g) {
+            out = forced;
+        }
+        values[g.index()] = out;
+    }
+}
+
+/// Advances the faulty present state after [`eval_frame_with_fault`]
+/// (applies the D-pin branch forcing).
+///
+/// # Panics
+///
+/// Panics if `state` does not match the flip-flop count.
+pub fn next_state_with_fault(netlist: &Netlist, values: &[V3], fault: Fault, state: &mut [V3]) {
+    assert_eq!(state.len(), netlist.num_dffs(), "state width mismatch");
+    let forced = V3::from_bool(fault.stuck);
+    for (i, &q) in netlist.dffs().iter().enumerate() {
+        let d = netlist.dff_d(q);
+        let mut v = values[d.index()];
+        if fault.lead == Lead::branch(d, q, 0) {
+            v = forced;
+        }
+        state[i] = v;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FaultRecord {
+    fault: Fault,
+    /// Faulty present state (diverges from the fault-free state over time).
+    state: Vec<V3>,
+    detection: Option<Detection>,
+}
+
+/// Event-driven three-valued serial fault simulator.
+///
+/// Each live fault keeps its own faulty present state; per frame, the fault
+/// effect is propagated from the fault site and from flip-flops whose
+/// faulty state differs, visiting only the divergent part of the circuit
+/// (single-fault propagation). Detected faults are dropped.
+///
+/// # Example
+///
+/// ```
+/// use motsim::faults::FaultList;
+/// use motsim::pattern::TestSequence;
+/// use motsim::sim3::FaultSim3;
+///
+/// let circuit = motsim_circuits::s27();
+/// let faults = FaultList::collapsed(&circuit);
+/// let seq = TestSequence::random(&circuit, 100, 7);
+/// let outcome = FaultSim3::run(&circuit, &seq, faults.iter().cloned());
+/// assert!(outcome.num_detected() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSim3<'a> {
+    netlist: &'a Netlist,
+    truesim: TrueSim<'a>,
+    records: Vec<FaultRecord>,
+    // Scratch (reused across faults/frames):
+    fval: Vec<V3>,
+    fstamp: Vec<u32>,
+    stamp: u32,
+    queued: Vec<u32>,
+    buckets: Vec<Vec<NetId>>,
+    frame: usize,
+}
+
+impl<'a> FaultSim3<'a> {
+    /// Creates a simulator for the given fault set, in the all-`X` state.
+    pub fn new(netlist: &'a Netlist, faults: impl IntoIterator<Item = Fault>) -> Self {
+        let m = netlist.num_dffs();
+        let records = faults
+            .into_iter()
+            .map(|fault| FaultRecord {
+                fault,
+                state: vec![V3::X; m],
+                detection: None,
+            })
+            .collect();
+        let nets = netlist.num_nets();
+        let depth = netlist.depth() as usize;
+        FaultSim3 {
+            netlist,
+            truesim: TrueSim::new(netlist),
+            records,
+            fval: vec![V3::X; nets],
+            fstamp: vec![0; nets],
+            stamp: 0,
+            queued: vec![0; nets],
+            buckets: vec![Vec::new(); depth + 1],
+            frame: 0,
+        }
+    }
+
+    /// Creates a simulator whose fault-free and faulty machines start from
+    /// given (partially known) three-valued states — the hybrid simulator's
+    /// entry into a fallback phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state width does not match the flip-flop count.
+    pub fn with_states(
+        netlist: &'a Netlist,
+        true_state: &[V3],
+        faulty: impl IntoIterator<Item = (Fault, Vec<V3>)>,
+    ) -> Self {
+        let mut sim = FaultSim3::new(netlist, std::iter::empty());
+        sim.truesim.set_state(true_state);
+        for (fault, state) in faulty {
+            assert_eq!(
+                state.len(),
+                netlist.num_dffs(),
+                "faulty state width mismatch"
+            );
+            sim.records.push(FaultRecord {
+                fault,
+                state,
+                detection: None,
+            });
+        }
+        sim
+    }
+
+    /// The present faulty state of every live fault (for handing back to a
+    /// symbolic phase).
+    pub fn faulty_states(&self) -> Vec<(Fault, Vec<V3>)> {
+        self.records
+            .iter()
+            .filter(|r| r.detection.is_none())
+            .map(|r| (r.fault, r.state.clone()))
+            .collect()
+    }
+
+    /// Convenience: run a whole sequence and collect the outcome.
+    pub fn run(
+        netlist: &'a Netlist,
+        seq: &TestSequence,
+        faults: impl IntoIterator<Item = Fault>,
+    ) -> SimOutcome {
+        let mut sim = FaultSim3::new(netlist, faults);
+        for v in seq {
+            sim.step(v);
+        }
+        sim.outcome()
+    }
+
+    /// Number of faults not yet detected.
+    pub fn live_faults(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.detection.is_none())
+            .count()
+    }
+
+    /// The fault-free simulator state (shared with the faulty machines'
+    /// reference).
+    pub fn true_state(&self) -> &[V3] {
+        self.truesim.state()
+    }
+
+    /// Per-fault results collected so far.
+    pub fn outcome(&self) -> SimOutcome {
+        SimOutcome {
+            results: self
+                .records
+                .iter()
+                .map(|r| FaultOutcome {
+                    fault: r.fault,
+                    detection: r.detection,
+                })
+                .collect(),
+            frames: self.frame,
+            fallback_frames: 0,
+            degraded_terms: 0,
+        }
+    }
+
+    /// Applies one input vector to the fault-free machine and every live
+    /// faulty machine; returns the faults newly detected in this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the circuit's input count.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<Fault> {
+        // Keep the pre-frame fault-free state for seeding faulty machines.
+        let prev_state: Vec<V3> = self.truesim.state().to_vec();
+        self.truesim.step(inputs);
+        let mut newly = Vec::new();
+        // Move records out to appease the borrow checker (cheap: Vec move).
+        let mut records = std::mem::take(&mut self.records);
+        for rec in records.iter_mut().filter(|r| r.detection.is_none()) {
+            if let Some(det) = self.simulate_fault_frame(rec, &prev_state) {
+                rec.detection = Some(det);
+                newly.push(rec.fault);
+            }
+        }
+        self.records = records;
+        self.frame += 1;
+        newly
+    }
+
+    /// Effective faulty value of a net for the current fault pass.
+    #[inline]
+    fn faulty_value(&self, n: NetId) -> V3 {
+        if self.fstamp[n.index()] == self.stamp {
+            self.fval[n.index()]
+        } else {
+            self.truesim.values()[n.index()]
+        }
+    }
+
+    fn set_faulty(&mut self, n: NetId, v: V3) {
+        self.fval[n.index()] = v;
+        self.fstamp[n.index()] = self.stamp;
+    }
+
+    fn enqueue_sinks(&mut self, n: NetId) {
+        let netlist = self.netlist;
+        for &(sink, _) in netlist.fanout(n) {
+            if netlist.net(sink).kind().is_gate() && self.queued[sink.index()] != self.stamp {
+                self.queued[sink.index()] = self.stamp;
+                self.buckets[netlist.level(sink) as usize].push(sink);
+            }
+        }
+    }
+
+    /// Runs one frame of the faulty machine `rec` against the already
+    /// simulated fault-free frame; updates the faulty state and returns a
+    /// detection if a primary output exposes the fault.
+    fn simulate_fault_frame(
+        &mut self,
+        rec: &mut FaultRecord,
+        prev_true_state: &[V3],
+    ) -> Option<Detection> {
+        let netlist = self.netlist;
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Extremely rare wrap: invalidate all stamps.
+            self.fstamp.fill(u32::MAX);
+            self.queued.fill(u32::MAX);
+            self.stamp = 1;
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+
+        // Seed 1: flip-flops whose faulty state differs from the fault-free
+        // present state of this frame.
+        for (i, &q) in netlist.dffs().iter().enumerate() {
+            if rec.state[i] != prev_true_state[i] {
+                self.set_faulty(q, rec.state[i]);
+                self.enqueue_sinks(q);
+            }
+        }
+        // Seed 2: the fault site.
+        let forced = V3::from_bool(rec.fault.stuck);
+        match rec.fault.lead.sink {
+            None => {
+                let n = rec.fault.lead.net;
+                self.set_faulty(n, forced);
+                if self.truesim.values()[n.index()] != forced {
+                    self.enqueue_sinks(n);
+                }
+            }
+            Some((sink, _)) => {
+                // Branch fault: the sink re-evaluates with the forced pin.
+                if netlist.net(sink).kind().is_gate() && self.queued[sink.index()] != self.stamp {
+                    self.queued[sink.index()] = self.stamp;
+                    self.buckets[netlist.level(sink) as usize].push(sink);
+                }
+                // A branch fault into a flip-flop D pin is handled at the
+                // state-update step below.
+            }
+        }
+
+        // Event-driven propagation in level order.
+        let mut fanin_buf: Vec<V3> = Vec::with_capacity(8);
+        for lvl in 0..self.buckets.len() {
+            let mut idx = 0;
+            while idx < self.buckets[lvl].len() {
+                let g = self.buckets[lvl][idx];
+                idx += 1;
+                let net = netlist.net(g);
+                let NodeKind::Gate(kind) = net.kind() else {
+                    continue;
+                };
+                fanin_buf.clear();
+                for (pin, &f) in net.fanin().iter().enumerate() {
+                    let mut v = self.faulty_value(f);
+                    if rec.fault.lead == Lead::branch(f, g, pin as u32) {
+                        v = forced;
+                    }
+                    fanin_buf.push(v);
+                }
+                let mut out = eval_gate(kind, &fanin_buf);
+                if rec.fault.lead == Lead::stem(g) {
+                    out = forced;
+                }
+                if out != self.faulty_value(g) {
+                    self.set_faulty(g, out);
+                    self.enqueue_sinks(g);
+                }
+            }
+        }
+
+        // Observation: three-valued SOT rule.
+        let mut detection = None;
+        for (j, &o) in netlist.outputs().iter().enumerate() {
+            let tv = self.truesim.values()[o.index()];
+            let fv = self.faulty_value(o);
+            if tv.is_known() && fv.is_known() && tv != fv {
+                detection = Some(Detection {
+                    frame: self.frame,
+                    output: j,
+                });
+                break;
+            }
+        }
+
+        // Faulty next state.
+        for (i, &q) in netlist.dffs().iter().enumerate() {
+            let d = netlist.dff_d(q);
+            let mut v = self.faulty_value(d);
+            // Branch fault directly on this D pin forces the stored value.
+            if rec.fault.lead == Lead::branch(d, q, 0) {
+                v = forced;
+            }
+            rec.state[i] = v;
+        }
+
+        detection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultList;
+    use motsim_netlist::builder::NetlistBuilder;
+    use motsim_netlist::GateKind;
+
+    /// Z = NAND(A, Q); Q = DFF(Z) — tiny oscillating circuit.
+    fn nand_loop() -> Netlist {
+        let mut b = NetlistBuilder::new("loop");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        let z = b.add_gate("Z", GateKind::Nand, vec![a, q]).unwrap();
+        b.connect_dff(q, z).unwrap();
+        b.add_output(z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn truesim_starts_unknown_and_synchronizes() {
+        let n = nand_loop();
+        let mut sim = TrueSim::new(&n);
+        assert_eq!(sim.state(), &[V3::X]);
+        // A=0 forces Z=1 regardless of Q: synchronizes.
+        sim.step(&[false]);
+        assert_eq!(sim.outputs(), vec![V3::One]);
+        assert_eq!(sim.state(), &[V3::One]);
+        // A=1, Q=1 -> Z = 0.
+        sim.step(&[true]);
+        assert_eq!(sim.outputs(), vec![V3::Zero]);
+        assert_eq!(sim.frames(), 2);
+    }
+
+    #[test]
+    fn truesim_x_propagates() {
+        let n = nand_loop();
+        let mut sim = TrueSim::new(&n);
+        // A=1 with Q unknown -> Z unknown.
+        sim.step(&[true]);
+        assert_eq!(sim.outputs(), vec![V3::X]);
+    }
+
+    #[test]
+    fn fault_on_output_detected_after_sync() {
+        let n = nand_loop();
+        let z = n.find("Z").unwrap();
+        // Z stuck-at-0: A=0 should give 1, observed 0 -> detected frame 0.
+        let f = Fault::stuck_at_0(Lead::stem(z));
+        let mut sim = FaultSim3::new(&n, [f]);
+        let det = sim.step(&[false]);
+        assert_eq!(det, vec![f]);
+        let out = sim.outcome();
+        assert_eq!(out.num_detected(), 1);
+        assert_eq!(out.results[0].detection.unwrap().frame, 0);
+    }
+
+    #[test]
+    fn fault_masked_by_x_not_detected() {
+        let n = nand_loop();
+        let z = n.find("Z").unwrap();
+        // Z stuck-at-1 under A=1: fault-free Z is X (depends on initial Q),
+        // so three-valued SOT cannot detect.
+        let f = Fault::stuck_at_1(Lead::stem(z));
+        let mut sim = FaultSim3::new(&n, [f]);
+        assert!(sim.step(&[true]).is_empty());
+        assert_eq!(sim.live_faults(), 1);
+    }
+
+    #[test]
+    fn state_divergence_detected_later() {
+        // Q stuck-at-1: apply A=0 (sync Q:=1, no difference observable at Z
+        // since fault-free Z=1=forced... then A=1: fault-free Q=1 -> Z=0;
+        // faulty Q=1 -> Z=0 as well. Use Q stuck-at-0 instead:
+        // frame0 A=0: true Z=1, faulty: Q read forced 0 -> Z=NAND(0,·)=1,
+        // same; next state true=1, faulty=1 but Q reads force 0.
+        // frame1 A=1: true Z=NAND(1,1)=0; faulty Z=NAND(1,0)=1 -> detected.
+        let n = nand_loop();
+        let q = n.find("Q").unwrap();
+        let f = Fault::stuck_at_0(Lead::stem(q));
+        let mut sim = FaultSim3::new(&n, [f]);
+        assert!(sim.step(&[false]).is_empty());
+        assert_eq!(sim.step(&[true]), vec![f]);
+    }
+
+    #[test]
+    fn run_s27_collapsed_matches_step_loop() {
+        let n = motsim_circuits::s27();
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 64, 3);
+        let a = FaultSim3::run(&n, &seq, faults.iter().cloned());
+        let mut sim = FaultSim3::new(&n, faults.iter().cloned());
+        for v in &seq {
+            sim.step(v);
+        }
+        let b = sim.outcome();
+        assert_eq!(a.num_detected(), b.num_detected());
+        assert_eq!(a.frames, 64);
+        assert!(
+            a.num_detected() > 0,
+            "random vectors should detect something"
+        );
+        assert!(a.num_detected() < faults.len(), "X-state keeps some hidden");
+    }
+
+    /// Oracle: serial full re-simulation of the faulty machine must agree
+    /// with the event-driven simulator.
+    fn full_resim_detects(netlist: &Netlist, fault: Fault, seq: &TestSequence) -> bool {
+        let mut tstate = vec![V3::X; netlist.num_dffs()];
+        let mut fstate = vec![V3::X; netlist.num_dffs()];
+        let mut tvals = Vec::new();
+        let mut fvals = Vec::new();
+        for v in seq {
+            eval_frame(netlist, &tstate, v, &mut tvals);
+            eval_frame_with_fault(netlist, &fstate, v, fault, &mut fvals);
+            for &o in netlist.outputs() {
+                let (tv, fv) = (tvals[o.index()], fvals[o.index()]);
+                if tv.is_known() && fv.is_known() && tv != fv {
+                    return true;
+                }
+            }
+            for (i, &q) in netlist.dffs().iter().enumerate() {
+                tstate[i] = tvals[netlist.dff_d(q).index()];
+                let d = netlist.dff_d(q);
+                let mut nv = fvals[d.index()];
+                if fault.lead == Lead::branch(d, q, 0) {
+                    nv = V3::from_bool(fault.stuck);
+                }
+                fstate[i] = nv;
+            }
+        }
+        false
+    }
+
+    /// Reference faulty-frame evaluation: full pass with overrides.
+    fn eval_frame_with_fault(
+        netlist: &Netlist,
+        state: &[V3],
+        inputs: &[bool],
+        fault: Fault,
+        values: &mut Vec<V3>,
+    ) {
+        values.clear();
+        values.resize(netlist.num_nets(), V3::X);
+        let forced = V3::from_bool(fault.stuck);
+        for (i, &pi) in netlist.inputs().iter().enumerate() {
+            values[pi.index()] = V3::from_bool(inputs[i]);
+        }
+        for (i, &q) in netlist.dffs().iter().enumerate() {
+            values[q.index()] = state[i];
+        }
+        // Apply stem forcing on sources.
+        if fault.lead.sink.is_none() {
+            let n = fault.lead.net;
+            if !netlist.net(n).kind().is_gate() {
+                values[n.index()] = forced;
+            }
+        }
+        let mut buf = Vec::new();
+        for &g in netlist.eval_order() {
+            let net = netlist.net(g);
+            let NodeKind::Gate(kind) = net.kind() else {
+                continue;
+            };
+            buf.clear();
+            for (pin, &f) in net.fanin().iter().enumerate() {
+                let mut v = values[f.index()];
+                if fault.lead == Lead::branch(f, g, pin as u32) {
+                    v = forced;
+                }
+                buf.push(v);
+            }
+            let mut out = eval_gate(kind, &buf);
+            if fault.lead == Lead::stem(g) {
+                out = forced;
+            }
+            values[g.index()] = out;
+        }
+    }
+
+    #[test]
+    fn event_driven_agrees_with_full_resimulation_s27() {
+        let n = motsim_circuits::s27();
+        let faults = FaultList::complete(&n);
+        let seq = TestSequence::random(&n, 40, 11);
+        let outcome = FaultSim3::run(&n, &seq, faults.iter().cloned());
+        for r in &outcome.results {
+            let expect = full_resim_detects(&n, r.fault, &seq);
+            assert_eq!(
+                r.detection.is_some(),
+                expect,
+                "fault {} disagrees",
+                r.fault.display(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn event_driven_agrees_on_counter() {
+        let n = motsim_circuits::generators::counter(4);
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 48, 23);
+        let outcome = FaultSim3::run(&n, &seq, faults.iter().cloned());
+        for r in &outcome.results {
+            let expect = full_resim_detects(&n, r.fault, &seq);
+            assert_eq!(
+                r.detection.is_some(),
+                expect,
+                "fault {} disagrees",
+                r.fault.display(&n)
+            );
+        }
+    }
+}

@@ -1,0 +1,1235 @@
+//! OBDD-based symbolic fault simulation (paper Section IV).
+//!
+//! The unknown initial state is encoded with one BDD variable `x_i` per
+//! memory element; every lead value becomes a Boolean function of `x`.
+//! Faults are injected one at a time and their effects propagated
+//! event-driven (only the divergent cone is recomputed — BDD handle
+//! equality is O(1), so divergence checks are free).
+//!
+//! Three observation strategies are supported ([`Strategy`]):
+//!
+//! - **SOT**: fault detected at `(t, i)` iff `o_i(x,t)` and `o_i^f(x,t)`
+//!   are complementary constants.
+//! - **rMOT**: the restricted detection function
+//!   `D~(x) ∏= [o_i(x,t) ≡ o_i^f(x,t)]` accumulated whenever `o_i(x,t)` is
+//!   constant; detected iff `D~ ≡ 0`.
+//! - **MOT**: the full detection function over independent initial states
+//!   `D(x,y) ∏= [o_i(x,t) ≡ o_i^f(y,t)]` over *all* outputs and frames;
+//!   `o_i^f(y,t)` is obtained from `o_i^f(x,t)` by the monotone rename
+//!   `x_i → y_i` (variables are interleaved `x_1 < y_1 < x_2 < …`).
+//!
+//! ### The "silent frame" terms of MOT
+//!
+//! Even when a fault's effect does not reach any output at frame `t`
+//! (`o^f ≡ o` as functions), the MOT product still gains the terms
+//! `E_i(x,y) = [o_i(x,t) ≡ o_i(y,t)]`, which prune initial-state pairs
+//! whose *fault-free* responses differ — the paper's own Fig. 3 example
+//! needs them. These terms are fault-independent, so the engine computes
+//! each `E_i` (and their product `E_all`) once per frame and shares them
+//! across all faults.
+
+use motsim_bdd::{Bdd, BddError, BddManager, VarId};
+use motsim_logic::V3;
+use motsim_netlist::{GateKind, Lead, NetId, Netlist, NodeKind};
+
+use crate::faults::Fault;
+use crate::pattern::TestSequence;
+use crate::report::{Detection, FaultOutcome, SimOutcome};
+
+/// The observation time test strategy to simulate with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Single observation time (Definition 2; the strategy of \[8\]).
+    Sot,
+    /// Restricted multiple observation time: one common initial-state
+    /// encoding, standard test evaluation remains possible.
+    Rmot,
+    /// Full multiple observation time (Definition 3).
+    Mot,
+}
+
+impl Strategy {
+    /// All strategies in increasing accuracy order.
+    pub const ALL: [Strategy; 3] = [Strategy::Sot, Strategy::Rmot, Strategy::Mot];
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::Sot => "SOT",
+            Strategy::Rmot => "rMOT",
+            Strategy::Mot => "MOT",
+        })
+    }
+}
+
+/// Evaluates a gate over BDD operands.
+///
+/// # Errors
+///
+/// Fails with [`BddError::NodeLimit`] if the manager's node limit is hit.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or has the wrong arity for unary kinds.
+pub fn eval_gate_bdd(mgr: &BddManager, kind: GateKind, inputs: &[Bdd]) -> Result<Bdd, BddError> {
+    assert!(!inputs.is_empty(), "gate must have at least one input");
+    let fold = |init: Bdd, op: fn(&Bdd, &Bdd) -> Result<Bdd, BddError>| -> Result<Bdd, BddError> {
+        let mut acc = init;
+        for b in inputs {
+            acc = op(&acc, b)?;
+        }
+        Ok(acc)
+    };
+    match kind {
+        GateKind::And => fold(mgr.one(), Bdd::and),
+        GateKind::Nand => fold(mgr.one(), Bdd::and)?.not(),
+        GateKind::Or => fold(mgr.zero(), Bdd::or),
+        GateKind::Nor => fold(mgr.zero(), Bdd::or)?.not(),
+        GateKind::Xor => fold(mgr.zero(), Bdd::xor),
+        GateKind::Xnor => fold(mgr.zero(), Bdd::xor)?.not(),
+        GateKind::Not => {
+            assert_eq!(inputs.len(), 1, "NOT is unary");
+            inputs[0].not()
+        }
+        GateKind::Buf => {
+            assert_eq!(inputs.len(), 1, "BUFF is unary");
+            Ok(inputs[0].clone())
+        }
+    }
+}
+
+/// Symbolic true-value (fault-free) simulator: one BDD per net, state
+/// encoded over the `x` variables.
+///
+/// Used stand-alone by [test evaluation](crate::testeval) and internally by
+/// [`SymbolicFaultSim`].
+#[derive(Debug)]
+pub struct SymbolicTrueSim<'a> {
+    netlist: &'a Netlist,
+    mgr: BddManager,
+    xvars: Vec<VarId>,
+    state: Vec<Bdd>,
+    values: Vec<Bdd>,
+    frame: usize,
+}
+
+impl<'a> SymbolicTrueSim<'a> {
+    /// Creates a simulator with a fresh manager; the initial state of
+    /// flip-flop `i` is the variable `x_i`.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Self::with_manager(netlist, BddManager::new())
+    }
+
+    /// Creates a simulator allocating its `x` variables in `mgr` (which may
+    /// carry a node limit).
+    pub fn with_manager(netlist: &'a Netlist, mgr: BddManager) -> Self {
+        let xvars: Vec<VarId> = (0..netlist.num_dffs())
+            .map(|_| mgr.new_var().top_var().expect("fresh literal"))
+            .collect();
+        let state: Vec<Bdd> = xvars.iter().map(|&v| mgr.var(v)).collect();
+        let values = vec![mgr.zero(); netlist.num_nets()];
+        SymbolicTrueSim {
+            netlist,
+            mgr,
+            xvars,
+            state,
+            values,
+            frame: 0,
+        }
+    }
+
+    /// The manager holding all functions of this simulator.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// The state-encoding variables `x_1 … x_m`.
+    pub fn xvars(&self) -> &[VarId] {
+        &self.xvars
+    }
+
+    /// Replaces the symbolic initial state (e.g. constants for known bits
+    /// when resuming from a three-valued prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if frames were already simulated or the width mismatches.
+    pub fn seed_state(&mut self, state: Vec<Bdd>) {
+        assert_eq!(self.frame, 0, "seed_state must precede simulation");
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state = state;
+    }
+
+    /// Applies one input vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] if the manager's node limit is
+    /// hit; the simulator state is unchanged in that case.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<(), BddError> {
+        let values = eval_frame_bdd(self.netlist, &self.mgr, &self.state, inputs)?;
+        let next: Vec<Bdd> = self
+            .netlist
+            .dffs()
+            .iter()
+            .map(|&q| values[self.netlist.dff_d(q).index()].clone())
+            .collect();
+        self.values = values;
+        self.state = next;
+        self.frame += 1;
+        Ok(())
+    }
+
+    /// Per-net values of the most recent frame.
+    pub fn values(&self) -> &[Bdd] {
+        &self.values
+    }
+
+    /// Primary-output functions of the most recent frame.
+    pub fn outputs(&self) -> Vec<Bdd> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()].clone())
+            .collect()
+    }
+
+    /// The symbolic present state.
+    pub fn state(&self) -> &[Bdd] {
+        &self.state
+    }
+
+    /// Frames simulated so far.
+    pub fn frames(&self) -> usize {
+        self.frame
+    }
+}
+
+/// Evaluates one combinational frame symbolically.
+///
+/// # Errors
+///
+/// Fails with [`BddError::NodeLimit`] if the manager's node limit is hit.
+pub fn eval_frame_bdd(
+    netlist: &Netlist,
+    mgr: &BddManager,
+    state: &[Bdd],
+    inputs: &[bool],
+) -> Result<Vec<Bdd>, BddError> {
+    assert_eq!(inputs.len(), netlist.num_inputs(), "input width mismatch");
+    assert_eq!(state.len(), netlist.num_dffs(), "state width mismatch");
+    let mut values = vec![mgr.zero(); netlist.num_nets()];
+    for (i, &pi) in netlist.inputs().iter().enumerate() {
+        values[pi.index()] = mgr.constant(inputs[i]);
+    }
+    for (i, &q) in netlist.dffs().iter().enumerate() {
+        values[q.index()] = state[i].clone();
+    }
+    let mut fanin_buf: Vec<Bdd> = Vec::with_capacity(8);
+    for &g in netlist.eval_order() {
+        let net = netlist.net(g);
+        let NodeKind::Gate(kind) = net.kind() else {
+            unreachable!("eval order contains only gates")
+        };
+        fanin_buf.clear();
+        fanin_buf.extend(net.fanin().iter().map(|f| values[f.index()].clone()));
+        values[g.index()] = eval_gate_bdd(mgr, kind, &fanin_buf)?;
+    }
+    Ok(values)
+}
+
+struct SymFaultRecord {
+    fault: Fault,
+    /// Faulty symbolic present state (over the `x` variables).
+    state: Vec<Bdd>,
+    /// The accumulated detection function `D~` (over `x` for rMOT, over
+    /// `(x, y)` for MOT; unused for SOT).
+    det: Bdd,
+    detection: Option<Detection>,
+}
+
+/// The OBDD-based fault simulator.
+///
+/// Construct with [`new`](Self::new), add faults, then drive it frame by
+/// frame ([`step`](Self::step)) or with [`run`](Self::run). For the
+/// space-limited hybrid wrapper see [`crate::hybrid::hybrid_run`].
+///
+/// # Example
+///
+/// The paper's Fig. 3 computation `D(x,y) = [x ≡ ȳ]·[x ≡ y] ≡ 0`:
+///
+/// ```
+/// use motsim::symbolic::{Strategy, SymbolicFaultSim};
+/// use motsim::{Fault, TestSequence};
+/// use motsim_netlist::Lead;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = motsim_circuits::s27();
+/// let seq = TestSequence::random(&circuit, 30, 1);
+/// let faults = motsim::FaultList::collapsed(&circuit);
+/// let outcome = SymbolicFaultSim::new(&circuit, Strategy::Mot)
+///     .run(&seq, faults.iter().cloned())?;
+/// assert!(outcome.num_detected() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SymbolicFaultSim<'a> {
+    netlist: &'a Netlist,
+    strategy: Strategy,
+    mgr: BddManager,
+    xvars: Vec<VarId>,
+    rename_map: Vec<(VarId, VarId)>,
+    true_state: Vec<Bdd>,
+    values: Vec<Bdd>,
+    records: Vec<SymFaultRecord>,
+    frame: usize,
+    gc_threshold: usize,
+    degraded_terms: usize,
+}
+
+/// Per-fault per-frame staging before commit.
+struct FaultUpdate {
+    index: usize,
+    det: Bdd,
+    state: Vec<Bdd>,
+    detection: Option<Detection>,
+}
+
+impl<'a> SymbolicFaultSim<'a> {
+    /// Creates a simulator with a fresh, unlimited manager and the natural
+    /// (flip-flop index) variable order.
+    ///
+    /// For MOT the state variables are interleaved `x_1 < y_1 < x_2 < y_2 …`
+    /// so that the rename `x → y` is monotone.
+    pub fn new(netlist: &'a Netlist, strategy: Strategy) -> Self {
+        Self::with_order(
+            netlist,
+            strategy,
+            &crate::ordering::VarOrder::natural(netlist),
+        )
+    }
+
+    /// Creates a simulator whose BDD position `k` encodes flip-flop
+    /// `order[k]` — see [`crate::ordering::VarOrder`] for structural
+    /// ordering heuristics. The interleaving of `x`/`y` pairs (for MOT) is
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the circuit's flip-flops.
+    pub fn with_order(
+        netlist: &'a Netlist,
+        strategy: Strategy,
+        order: &crate::ordering::VarOrder,
+    ) -> Self {
+        let m = netlist.num_dffs();
+        assert!(order.is_valid(m), "order must be a permutation of 0..{m}");
+        let mgr = BddManager::new();
+        let mut xvars = vec![VarId::from_index(0); m];
+        let mut rename_map = Vec::new();
+        for &ff in order.as_slice() {
+            let x = mgr.new_var().top_var().expect("fresh literal");
+            xvars[ff] = x;
+            if strategy == Strategy::Mot {
+                let y = mgr.new_var().top_var().expect("fresh literal");
+                rename_map.push((x, y));
+            }
+        }
+        let true_state: Vec<Bdd> = xvars.iter().map(|&v| mgr.var(v)).collect();
+        let values = vec![mgr.zero(); netlist.num_nets()];
+        SymbolicFaultSim {
+            netlist,
+            strategy,
+            mgr,
+            xvars,
+            rename_map,
+            true_state,
+            values,
+            records: Vec::new(),
+            frame: 0,
+            gc_threshold: 1 << 20,
+            degraded_terms: 0,
+        }
+    }
+
+    /// Sets the live-node limit of the underlying manager (the paper uses
+    /// 30,000). With a limit set, [`step`](Self::step) may fail with
+    /// [`BddError::NodeLimit`].
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.mgr.set_node_limit(limit);
+        if let Some(l) = limit {
+            self.gc_threshold = (l / 2).max(1024);
+        }
+    }
+
+    /// The strategy this simulator applies.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The underlying manager (e.g. for statistics).
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// The state-encoding variables.
+    pub fn xvars(&self) -> &[VarId] {
+        &self.xvars
+    }
+
+    /// Adds a fault to simulate; its faulty machine starts in the same
+    /// unknown initial state encoding.
+    pub fn add_fault(&mut self, fault: Fault) {
+        self.records.push(SymFaultRecord {
+            fault,
+            state: self.xvars.iter().map(|&v| self.mgr.var(v)).collect(),
+            det: self.mgr.one(),
+            detection: None,
+        });
+    }
+
+    /// Adds a fault whose machine starts from a (partially) known
+    /// three-valued state: known bits become constants, `X` bits the `x_i`
+    /// variable. Used by the hybrid simulator when re-entering symbolic
+    /// mode.
+    pub fn add_fault_with_state(&mut self, fault: Fault, state: &[V3]) {
+        assert_eq!(state.len(), self.xvars.len(), "state width mismatch");
+        let state = state
+            .iter()
+            .zip(&self.xvars)
+            .map(|(&v, &x)| match v.to_bool() {
+                Some(b) => self.mgr.constant(b),
+                None => self.mgr.var(x),
+            })
+            .collect();
+        self.records.push(SymFaultRecord {
+            fault,
+            state,
+            det: self.mgr.one(),
+            detection: None,
+        });
+    }
+
+    /// Replaces the fault-free symbolic state by a three-valued state
+    /// (hybrid re-entry; see [`add_fault_with_state`](Self::add_fault_with_state)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after faults were added or frames simulated.
+    pub fn seed_true_state(&mut self, state: &[V3]) {
+        assert!(
+            self.records.is_empty() && self.frame == 0,
+            "seed_true_state must be called before adding faults"
+        );
+        assert_eq!(state.len(), self.xvars.len(), "state width mismatch");
+        self.true_state = state
+            .iter()
+            .zip(&self.xvars)
+            .map(|(&v, &x)| match v.to_bool() {
+                Some(b) => self.mgr.constant(b),
+                None => self.mgr.var(x),
+            })
+            .collect();
+    }
+
+    /// Number of faults not yet marked detectable.
+    pub fn live_faults(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.detection.is_none())
+            .count()
+    }
+
+    /// Projects the fault-free symbolic state to three values (constants
+    /// stay known, everything else becomes `X`).
+    pub fn true_state_v3(&self) -> Vec<V3> {
+        self.true_state.iter().map(project_v3).collect()
+    }
+
+    /// Projects every live fault's symbolic state to three values.
+    pub fn faulty_states_v3(&self) -> Vec<(Fault, Vec<V3>)> {
+        self.records
+            .iter()
+            .filter(|r| r.detection.is_none())
+            .map(|r| (r.fault, r.state.iter().map(project_v3).collect()))
+            .collect()
+    }
+
+    /// Per-fault results collected so far.
+    pub fn outcome(&self) -> SimOutcome {
+        SimOutcome {
+            results: self
+                .records
+                .iter()
+                .map(|r| FaultOutcome {
+                    fault: r.fault,
+                    detection: r.detection,
+                })
+                .collect(),
+            frames: self.frame,
+            fallback_frames: 0,
+            degraded_terms: self.degraded_terms,
+        }
+    }
+
+    /// Detection-function terms skipped because of the node limit (0 when
+    /// no limit is configured; see [`SimOutcome::degraded_terms`]).
+    pub fn degraded_terms(&self) -> usize {
+        self.degraded_terms
+    }
+
+    /// Convenience: simulate `seq` for `faults` and collect the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] if a node limit is configured and
+    /// hit (use [`crate::hybrid::hybrid_run`] to survive that).
+    pub fn run(
+        mut self,
+        seq: &TestSequence,
+        faults: impl IntoIterator<Item = Fault>,
+    ) -> Result<SimOutcome, BddError> {
+        for f in faults {
+            self.add_fault(f);
+        }
+        for v in seq {
+            self.step(v)?;
+        }
+        Ok(self.outcome())
+    }
+
+    /// Applies one input vector to the fault-free machine and all live
+    /// faulty machines; returns the newly detected faults.
+    ///
+    /// On [`BddError::NodeLimit`] the frame is rolled back: the logical
+    /// state (detection functions, machine states) is exactly as before the
+    /// call, so a caller can garbage-collect, raise the limit, or switch to
+    /// three-valued simulation and retry/resume.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] as described above.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<Vec<Fault>, BddError> {
+        match self.step_attempt(inputs) {
+            Ok(newly) => Ok(newly),
+            Err(BddError::NodeLimit { .. }) => {
+                // One self-healing attempt: drop garbage and redo the frame.
+                self.mgr.gc();
+                self.step_attempt(inputs)
+            }
+        }
+    }
+
+    fn step_attempt(&mut self, inputs: &[bool]) -> Result<Vec<Fault>, BddError> {
+        // 1. Fault-free frame.
+        let values = eval_frame_bdd(self.netlist, &self.mgr, &self.true_state, inputs)?;
+        let next_state: Vec<Bdd> = self
+            .netlist
+            .dffs()
+            .iter()
+            .map(|&q| values[self.netlist.dff_d(q).index()].clone())
+            .collect();
+
+        // 2. Fault-independent MOT factors, built lazily.
+        let mut frame = FrameCtx {
+            netlist: self.netlist,
+            mgr: &self.mgr,
+            values: &values,
+            rename_map: &self.rename_map,
+            e_terms: vec![None; self.netlist.num_outputs()],
+            e_failed: vec![false; self.netlist.num_outputs()],
+            e_all: None,
+            e_all_failed: false,
+        };
+
+        // 3. Per-fault propagation into staged updates.
+        let mut updates: Vec<FaultUpdate> = Vec::new();
+        let mut skipped = 0usize;
+        for (i, rec) in self.records.iter().enumerate() {
+            if rec.detection.is_some() {
+                continue;
+            }
+            let update = propagate_fault(
+                self.netlist,
+                &self.mgr,
+                self.strategy,
+                &mut frame,
+                &self.true_state,
+                rec,
+                i,
+                self.frame,
+                &mut skipped,
+            )?;
+            updates.push(update);
+        }
+
+        // 4. Commit.
+        let mut newly = Vec::new();
+        for u in updates {
+            let rec = &mut self.records[u.index];
+            rec.det = u.det;
+            rec.state = u.state;
+            if rec.detection.is_none() {
+                if let Some(d) = u.detection {
+                    rec.detection = Some(d);
+                    newly.push(rec.fault);
+                }
+            }
+        }
+        self.values = values;
+        self.true_state = next_state;
+        self.frame += 1;
+        self.degraded_terms += skipped;
+        if self.mgr.live_nodes() > self.gc_threshold {
+            self.mgr.gc();
+        }
+        Ok(newly)
+    }
+
+    /// Primary-output functions of the most recent frame (fault-free).
+    pub fn output_values(&self) -> Vec<Bdd> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()].clone())
+            .collect()
+    }
+
+    /// Frames simulated so far.
+    pub fn frames(&self) -> usize {
+        self.frame
+    }
+}
+
+fn project_v3(b: &Bdd) -> V3 {
+    match b.const_value() {
+        Some(true) => V3::One,
+        Some(false) => V3::Zero,
+        None => V3::X,
+    }
+}
+
+/// Shared per-frame context for the MOT fault-independent factors.
+struct FrameCtx<'f> {
+    netlist: &'f Netlist,
+    mgr: &'f BddManager,
+    values: &'f [Bdd],
+    rename_map: &'f [(VarId, VarId)],
+    e_terms: Vec<Option<Bdd>>,
+    e_failed: Vec<bool>,
+    e_all: Option<Bdd>,
+    e_all_failed: bool,
+}
+
+impl FrameCtx<'_> {
+    /// `E_j(x,y) = [o_j(x,t) ≡ o_j(y,t)]`, computed once per frame. Under a
+    /// node limit the computation is retried once after a garbage
+    /// collection; a second failure is cached so other faults do not redo
+    /// the doomed work.
+    fn e_term(&mut self, j: usize) -> Result<Bdd, BddError> {
+        if let Some(e) = &self.e_terms[j] {
+            return Ok(e.clone());
+        }
+        if self.e_failed[j] {
+            return Err(BddError::NodeLimit {
+                limit: self.mgr.node_limit().unwrap_or(0),
+            });
+        }
+        let build = || -> Result<Bdd, BddError> {
+            let o = &self.values[self.netlist.outputs()[j].index()];
+            let oy = o.rename(self.rename_map)?;
+            o.equiv(&oy)
+        };
+        let e = build().or_else(|_| {
+            self.mgr.gc();
+            build()
+        });
+        match e {
+            Ok(e) => {
+                self.e_terms[j] = Some(e.clone());
+                Ok(e)
+            }
+            Err(err) => {
+                self.e_failed[j] = true;
+                Err(err)
+            }
+        }
+    }
+
+    /// `∏_j E_j`, the whole-frame factor for faults with no output change.
+    fn e_all(&mut self) -> Result<Bdd, BddError> {
+        if let Some(e) = &self.e_all {
+            return Ok(e.clone());
+        }
+        if self.e_all_failed {
+            return Err(BddError::NodeLimit {
+                limit: self.mgr.node_limit().unwrap_or(0),
+            });
+        }
+        let mut acc = self.mgr.one();
+        for j in 0..self.netlist.num_outputs() {
+            let r = self.e_term(j).and_then(|e| {
+                acc.and(&e).or_else(|_| {
+                    self.mgr.gc();
+                    acc.and(&e)
+                })
+            });
+            match r {
+                Ok(next) => acc = next,
+                Err(err) => {
+                    self.e_all_failed = true;
+                    return Err(err);
+                }
+            }
+        }
+        self.e_all = Some(acc.clone());
+        Ok(acc)
+    }
+}
+
+/// Multiplies `term` into `det`; on node-limit pressure retries after a GC
+/// and, if that still fails, *skips* the term (sound: the product only gets
+/// larger, so detections stay a lower bound) and counts it in `skipped`.
+fn and_term_or_skip(
+    mgr: &BddManager,
+    det: &Bdd,
+    term: Result<Bdd, BddError>,
+    skipped: &mut usize,
+) -> Bdd {
+    let Ok(term) = term else {
+        *skipped += 1;
+        return det.clone();
+    };
+    match det.and(&term) {
+        Ok(r) => r,
+        Err(_) => {
+            mgr.gc();
+            match det.and(&term) {
+                Ok(r) => r,
+                Err(_) => {
+                    *skipped += 1;
+                    det.clone()
+                }
+            }
+        }
+    }
+}
+
+/// Event-driven single-fault propagation for one fault and one frame.
+#[allow(clippy::too_many_arguments)]
+fn propagate_fault(
+    netlist: &Netlist,
+    mgr: &BddManager,
+    strategy: Strategy,
+    frame_ctx: &mut FrameCtx<'_>,
+    true_state: &[Bdd],
+    rec: &SymFaultRecord,
+    index: usize,
+    frame_no: usize,
+    skipped: &mut usize,
+) -> Result<FaultUpdate, BddError> {
+    let values = frame_ctx.values;
+    let forced = mgr.constant(rec.fault.stuck);
+
+    // Sparse faulty values: only nets that (may) diverge.
+    let mut dirty: std::collections::HashMap<u32, Bdd> = std::collections::HashMap::new();
+    let mut queued: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let depth = netlist.depth() as usize;
+    let mut buckets: Vec<Vec<NetId>> = vec![Vec::new(); depth + 1];
+
+    let enqueue =
+        |n: NetId, buckets: &mut Vec<Vec<NetId>>, queued: &mut std::collections::HashSet<u32>| {
+            if netlist.net(n).kind().is_gate() && queued.insert(n.index() as u32) {
+                buckets[netlist.level(n) as usize].push(n);
+            }
+        };
+
+    // Seed 1: state divergence.
+    for (i, &q) in netlist.dffs().iter().enumerate() {
+        if rec.state[i] != true_state[i] {
+            dirty.insert(q.index() as u32, rec.state[i].clone());
+            for &(sink, _) in netlist.fanout(q) {
+                enqueue(sink, &mut buckets, &mut queued);
+            }
+        }
+    }
+    // Seed 2: the fault site.
+    match rec.fault.lead.sink {
+        None => {
+            let n = rec.fault.lead.net;
+            dirty.insert(n.index() as u32, forced.clone());
+            if values[n.index()] != forced {
+                for &(sink, _) in netlist.fanout(n) {
+                    enqueue(sink, &mut buckets, &mut queued);
+                }
+            }
+        }
+        Some((sink, _)) => {
+            enqueue(sink, &mut buckets, &mut queued);
+        }
+    }
+
+    let faulty_value = |n: NetId, dirty: &std::collections::HashMap<u32, Bdd>| -> Bdd {
+        dirty
+            .get(&(n.index() as u32))
+            .cloned()
+            .unwrap_or_else(|| values[n.index()].clone())
+    };
+
+    // Level-ordered propagation.
+    let mut fanin_buf: Vec<Bdd> = Vec::with_capacity(8);
+    for lvl in 0..buckets.len() {
+        let mut idx = 0;
+        while idx < buckets[lvl].len() {
+            let g = buckets[lvl][idx];
+            idx += 1;
+            let net = netlist.net(g);
+            let NodeKind::Gate(kind) = net.kind() else {
+                continue;
+            };
+            fanin_buf.clear();
+            for (pin, &f) in net.fanin().iter().enumerate() {
+                let v = if rec.fault.lead == Lead::branch(f, g, pin as u32) {
+                    forced.clone()
+                } else {
+                    faulty_value(f, &dirty)
+                };
+                fanin_buf.push(v);
+            }
+            let mut out = eval_gate_bdd(mgr, kind, &fanin_buf)?;
+            if rec.fault.lead == Lead::stem(g) {
+                out = forced.clone();
+            }
+            if out != values[g.index()] {
+                dirty.insert(g.index() as u32, out);
+                for &(sink, _) in netlist.fanout(g) {
+                    enqueue(sink, &mut buckets, &mut queued);
+                }
+            }
+        }
+    }
+
+    // Observation.
+    let mut det = rec.det.clone();
+    let mut detection: Option<Detection> = None;
+    match strategy {
+        Strategy::Sot => {
+            for (j, &o) in netlist.outputs().iter().enumerate() {
+                let ov = &values[o.index()];
+                let fv = faulty_value(o, &dirty);
+                if fv != *ov && ov.is_const() && fv.is_const() {
+                    detection = Some(Detection {
+                        frame: frame_no,
+                        output: j,
+                    });
+                    break;
+                }
+            }
+        }
+        Strategy::Rmot => {
+            for (j, &o) in netlist.outputs().iter().enumerate() {
+                let ov = &values[o.index()];
+                let fv = faulty_value(o, &dirty);
+                if fv == *ov || !ov.is_const() {
+                    continue; // term is 1 or not admissible for rMOT
+                }
+                let term = ov.equiv(&fv).or_else(|_| {
+                    mgr.gc();
+                    ov.equiv(&fv)
+                });
+                det = and_term_or_skip(mgr, &det, term, skipped);
+                if det.is_false() {
+                    detection = Some(Detection {
+                        frame: frame_no,
+                        output: j,
+                    });
+                    break;
+                }
+            }
+        }
+        Strategy::Mot => {
+            // Any output changed for this fault?
+            let changed: Vec<usize> = netlist
+                .outputs()
+                .iter()
+                .enumerate()
+                .filter(|(_, &o)| dirty.contains_key(&(o.index() as u32)))
+                .map(|(j, _)| j)
+                .collect();
+            if changed.is_empty() {
+                let e = frame_ctx.e_all();
+                det = and_term_or_skip(mgr, &det, e, skipped);
+                if det.is_false() {
+                    detection = Some(Detection {
+                        frame: frame_no,
+                        output: 0,
+                    });
+                }
+            } else {
+                for (j, &o) in netlist.outputs().iter().enumerate() {
+                    let term = if changed.contains(&j) {
+                        let build = || -> Result<Bdd, BddError> {
+                            let fv = faulty_value(o, &dirty);
+                            let fy = fv.rename(frame_ctx.rename_map)?;
+                            values[o.index()].equiv(&fy)
+                        };
+                        build().or_else(|_| {
+                            mgr.gc();
+                            build()
+                        })
+                    } else {
+                        frame_ctx.e_term(j)
+                    };
+                    det = and_term_or_skip(mgr, &det, term, skipped);
+                    if det.is_false() {
+                        detection = Some(Detection {
+                            frame: frame_no,
+                            output: j,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Faulty next state.
+    let mut state = Vec::with_capacity(netlist.num_dffs());
+    for &q in netlist.dffs() {
+        let d = netlist.dff_d(q);
+        let mut v = faulty_value(d, &dirty);
+        if rec.fault.lead == Lead::branch(d, q, 0) {
+            v = forced.clone();
+        }
+        state.push(v);
+    }
+
+    Ok(FaultUpdate {
+        index,
+        det,
+        state,
+        detection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::{verdict_from, ResponseMatrix};
+    use crate::faults::FaultList;
+    use motsim_netlist::builder::NetlistBuilder;
+
+    /// Cross-engine oracle: the symbolic verdicts must match exhaustive
+    /// enumeration for every collapsed fault.
+    fn assert_matches_oracle(netlist: &Netlist, seq: &TestSequence) {
+        let faults = FaultList::collapsed(netlist);
+        let good = ResponseMatrix::simulate(netlist, seq, None);
+        let mut oracle = Vec::new();
+        for f in faults.iter() {
+            let bad = ResponseMatrix::simulate(netlist, seq, Some(*f));
+            oracle.push(verdict_from(&good, &bad, seq.len(), netlist.num_outputs()));
+        }
+        for strategy in Strategy::ALL {
+            let outcome = SymbolicFaultSim::new(netlist, strategy)
+                .run(seq, faults.iter().cloned())
+                .expect("no node limit");
+            for (r, v) in outcome.results.iter().zip(&oracle) {
+                let expect = match strategy {
+                    Strategy::Sot => v.sot,
+                    Strategy::Rmot => v.rmot,
+                    Strategy::Mot => v.mot,
+                };
+                assert_eq!(
+                    r.detection.is_some(),
+                    expect,
+                    "{strategy} disagrees with oracle for {} on {}",
+                    r.fault.display(netlist),
+                    netlist.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_s27() {
+        let n = motsim_circuits::s27();
+        assert_matches_oracle(&n, &TestSequence::random(&n, 14, 5));
+    }
+
+    #[test]
+    fn matches_oracle_on_counter4() {
+        let n = motsim_circuits::generators::counter(4);
+        assert_matches_oracle(&n, &TestSequence::random(&n, 12, 6));
+    }
+
+    #[test]
+    fn matches_oracle_on_shift_register() {
+        let n = motsim_circuits::generators::shift_register(5);
+        assert_matches_oracle(&n, &TestSequence::random(&n, 10, 7));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_fsm() {
+        use motsim_circuits::generators::{fsm, FsmParams};
+        let n = fsm(
+            "t",
+            77,
+            FsmParams {
+                state_bits: 5,
+                inputs: 3,
+                outputs: 3,
+                terms: 3,
+                literals: 3,
+                reset: false,
+                sync_bits: 1,
+            },
+        );
+        assert_matches_oracle(&n, &TestSequence::random(&n, 10, 8));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_circuit() {
+        use motsim_circuits::generators::{random_circuit, RandomParams};
+        let n = random_circuit(
+            "t",
+            13,
+            RandomParams {
+                inputs: 4,
+                outputs: 3,
+                dffs: 5,
+                gates: 30,
+                max_fanin: 3,
+            },
+        );
+        assert_matches_oracle(&n, &TestSequence::random(&n, 10, 9));
+    }
+
+    /// The paper's Fig. 3 example, verbatim: one flip-flop; the fault-free
+    /// output sequence is (x, x); the faulty one is (ȳ, y);
+    /// D(x,y) = [x≡ȳ]·[x≡y] ≡ 0, so MOT detects — SOT and rMOT cannot.
+    #[test]
+    fn fig3_detection_function() {
+        // PO = XNOR(A, Q); Q' = Q. Input sequence (1, 0):
+        //   fault-free: o(1) = XNOR(1, x) = x; o(2) = XNOR(0, x) = x̄.
+        //   A stuck-at-0: o^f = XNOR(0, y) = ȳ both frames.
+        // D = [x ≡ ȳ]·[x̄ ≡ ȳ] = [x ≡ ȳ]·[x ≡ y] ≡ 0 — the paper's algebra.
+        let mut b = NetlistBuilder::new("fig3");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+        b.connect_dff(q, keep).unwrap();
+        let o = b.add_gate("O", GateKind::Xnor, vec![a, q]).unwrap();
+        b.add_output(o);
+        let n = b.finish().unwrap();
+        let a = n.find("A").unwrap();
+        let fault = Fault::stuck_at_0(Lead::stem(a));
+        let seq = TestSequence::new(1, vec![vec![true], vec![false]]);
+
+        for (strategy, expect) in [
+            (Strategy::Sot, false),
+            (Strategy::Rmot, false),
+            (Strategy::Mot, true),
+        ] {
+            let outcome = SymbolicFaultSim::new(&n, strategy)
+                .run(&seq, [fault])
+                .unwrap();
+            assert_eq!(
+                outcome.num_detected() == 1,
+                expect,
+                "{strategy} wrong on Fig. 3"
+            );
+        }
+    }
+
+    /// MOT needs the silent-frame terms: after the first frame the fault
+    /// effect is invisible, yet the [x ≡ y] term is what kills D.
+    #[test]
+    fn silent_frame_terms_matter() {
+        // Same circuit as fig3 but sequence (1, 1): fault-free (x, x),
+        // faulty (ȳ, ȳ). D = [x≡ȳ]·[x≡ȳ] = [x≡ȳ] ≠ 0 -> NOT detected.
+        // With sequence (1, 0) it IS detected (fig3 test above). This pins
+        // down that detection hinges on cross-frame pruning, not on lucky
+        // per-frame differences.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+        b.connect_dff(q, keep).unwrap();
+        let o = b.add_gate("O", GateKind::Xnor, vec![a, q]).unwrap();
+        b.add_output(o);
+        let n = b.finish().unwrap();
+        let a = n.find("A").unwrap();
+        let fault = Fault::stuck_at_0(Lead::stem(a));
+
+        let same = TestSequence::new(1, vec![vec![true], vec![true]]);
+        let outcome = SymbolicFaultSim::new(&n, Strategy::Mot)
+            .run(&same, [fault])
+            .unwrap();
+        assert_eq!(outcome.num_detected(), 0, "constant input cannot detect");
+    }
+
+    #[test]
+    fn strategies_are_ordered_by_power() {
+        // On any circuit/sequence: detected(SOT) ⊆ detected(rMOT) ⊆ detected(MOT).
+        let n = motsim_circuits::generators::counter(5);
+        let seq = TestSequence::random(&n, 20, 3);
+        let faults = FaultList::collapsed(&n);
+        let mut per: Vec<Vec<bool>> = Vec::new();
+        for strategy in Strategy::ALL {
+            let outcome = SymbolicFaultSim::new(&n, strategy)
+                .run(&seq, faults.iter().cloned())
+                .unwrap();
+            per.push(
+                outcome
+                    .results
+                    .iter()
+                    .map(|r| r.detection.is_some())
+                    .collect(),
+            );
+        }
+        for ((&s, &r), &m) in per[0].iter().zip(&per[1]).zip(&per[2]) {
+            assert!(!s || r, "SOT ⊆ rMOT");
+            assert!(!r || m, "rMOT ⊆ MOT");
+        }
+    }
+
+    #[test]
+    fn symbolic_sot_at_least_three_valued() {
+        // The symbolic SOT engine is exact; the three-valued one is a lower
+        // bound. Everything 3-valued detects, symbolic SOT must too.
+        let n = motsim_circuits::s27();
+        let seq = TestSequence::random(&n, 30, 4);
+        let faults = FaultList::collapsed(&n);
+        let three = crate::sim3::FaultSim3::run(&n, &seq, faults.iter().cloned());
+        let sym = SymbolicFaultSim::new(&n, Strategy::Sot)
+            .run(&seq, faults.iter().cloned())
+            .unwrap();
+        for (a, b) in three.results.iter().zip(&sym.results) {
+            assert!(
+                a.detection.is_none() || b.detection.is_some(),
+                "3-valued detected {} but symbolic SOT did not",
+                a.fault.display(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn true_sim_constants_match_v3() {
+        // Wherever the three-valued simulator has a known value, the
+        // symbolic simulator must have the same constant.
+        let n = motsim_circuits::s27();
+        let seq = TestSequence::random(&n, 25, 10);
+        let mut sym = SymbolicTrueSim::new(&n);
+        let mut v3 = crate::sim3::TrueSim::new(&n);
+        for v in &seq {
+            sym.step(v).unwrap();
+            v3.step(v);
+            for id in n.net_ids() {
+                if let Some(b) = v3.value(id).to_bool() {
+                    assert_eq!(
+                        sym.values()[id.index()].const_value(),
+                        Some(b),
+                        "net {}",
+                        n.net(id).name()
+                    );
+                }
+            }
+        }
+        assert_eq!(sym.frames(), seq.len());
+        assert_eq!(sym.outputs().len(), 1);
+        assert_eq!(sym.state().len(), 3);
+        assert_eq!(sym.xvars().len(), 3);
+    }
+
+    #[test]
+    fn node_limit_rolls_back_cleanly() {
+        let n = motsim_circuits::generators::counter(12);
+        let seq = TestSequence::random(&n, 30, 2);
+        let faults = FaultList::collapsed(&n);
+        let mut sim = SymbolicFaultSim::new(&n, Strategy::Mot);
+        sim.set_node_limit(Some(300));
+        for f in faults.iter().take(10) {
+            sim.add_fault(*f);
+        }
+        let mut failed_at = None;
+        for (i, v) in seq.iter().enumerate() {
+            match sim.step(v) {
+                Ok(_) => {}
+                Err(BddError::NodeLimit { .. }) => {
+                    failed_at = Some(i);
+                    break;
+                }
+            }
+        }
+        let failed_at = failed_at.expect("limit of 300 must trip on a 12-bit counter");
+        // Raising the limit lets the same simulator continue from where it
+        // stopped (state was rolled back, not corrupted).
+        sim.set_node_limit(None);
+        for v in seq.iter().skip(failed_at) {
+            sim.step(v).unwrap();
+        }
+        assert_eq!(sim.frames(), seq.len());
+    }
+
+    #[test]
+    fn project_and_reseed_round_trip() {
+        let n = motsim_circuits::s27();
+        let mut sim = SymbolicFaultSim::new(&n, Strategy::Rmot);
+        let faults = FaultList::collapsed(&n);
+        for f in faults.iter().take(5) {
+            sim.add_fault(*f);
+        }
+        let seq = TestSequence::random(&n, 10, 3);
+        for v in &seq {
+            sim.step(v).unwrap();
+        }
+        let ts = sim.true_state_v3();
+        assert_eq!(ts.len(), 3);
+        let fs = sim.faulty_states_v3();
+        assert!(fs.len() <= 5);
+        // Reseeding a fresh simulator from the projected states works.
+        let mut sim2 = SymbolicFaultSim::new(&n, Strategy::Rmot);
+        sim2.seed_true_state(&ts);
+        for (f, st) in &fs {
+            sim2.add_fault_with_state(*f, st);
+        }
+        sim2.step(seq.vector(0)).unwrap();
+    }
+
+    #[test]
+    fn variable_order_does_not_change_verdicts() {
+        use crate::ordering::VarOrder;
+        let n = motsim_circuits::generators::counter(6);
+        let seq = TestSequence::random(&n, 20, 4);
+        let faults = FaultList::collapsed(&n);
+        let baseline = SymbolicFaultSim::new(&n, Strategy::Mot)
+            .run(&seq, faults.iter().cloned())
+            .unwrap();
+        for order in [VarOrder::dfs(&n), VarOrder::connectivity(&n)] {
+            let outcome = SymbolicFaultSim::with_order(&n, Strategy::Mot, &order)
+                .run(&seq, faults.iter().cloned())
+                .unwrap();
+            for (a, b) in baseline.results.iter().zip(&outcome.results) {
+                assert_eq!(a.detection.is_some(), b.detection.is_some());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn with_order_validates() {
+        use crate::ordering::VarOrder;
+        let n = motsim_circuits::s27();
+        let c6 = motsim_circuits::generators::counter(6);
+        let order = VarOrder::natural(&c6); // wrong size
+        let _ = SymbolicFaultSim::with_order(&n, Strategy::Sot, &order);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(Strategy::Sot.to_string(), "SOT");
+        assert_eq!(Strategy::Rmot.to_string(), "rMOT");
+        assert_eq!(Strategy::Mot.to_string(), "MOT");
+    }
+}

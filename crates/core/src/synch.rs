@@ -1,0 +1,274 @@
+//! Synchronizing-sequence analysis.
+//!
+//! The paper's rMOT discussion hinges on *synchronizability*: if a sequence
+//! drives the fault-free circuit into a unique state, outputs become
+//! constants and rMOT's admissible terms abound; the cited work \[5\] builds
+//! test generation for fully synchronizable circuits on the same notion.
+//!
+//! This module measures synchronization exactly (with the symbolic
+//! simulator — a state bit is synchronized iff its BDD is a constant) and
+//! pessimistically (three-valued), and searches for synchronizing
+//! sequences greedily. The gap between the two measures is precisely the
+//! inaccuracy of the three-valued logic that Section III is about: the
+//! classes of circuits of \[11\] synchronize symbolically but never
+//! three-valued.
+
+use motsim_bdd::BddError;
+use motsim_netlist::Netlist;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pattern::TestSequence;
+use crate::sim3::TrueSim;
+use crate::symbolic::SymbolicTrueSim;
+
+/// Per-frame synchronization counts for one sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynchronizationProfile {
+    /// Flip-flop count `m`.
+    pub dffs: usize,
+    /// Per frame: state bits known to the three-valued simulator.
+    pub known_v3: Vec<usize>,
+    /// Per frame: state bits whose symbolic function is a constant
+    /// (exact synchronization).
+    pub known_symbolic: Vec<usize>,
+}
+
+impl SynchronizationProfile {
+    /// `true` if the sequence fully synchronizes the circuit (symbolically)
+    /// at some frame.
+    pub fn synchronizes(&self) -> bool {
+        self.known_symbolic.contains(&self.dffs)
+    }
+
+    /// First frame (0-based) at which the circuit is fully synchronized
+    /// symbolically, if any.
+    pub fn sync_frame(&self) -> Option<usize> {
+        self.known_symbolic.iter().position(|&k| k == self.dffs)
+    }
+
+    /// `true` if three-valued simulation also fully synchronizes at some
+    /// frame (always implies [`synchronizes`](Self::synchronizes)).
+    pub fn synchronizes_v3(&self) -> bool {
+        self.known_v3.contains(&self.dffs)
+    }
+
+    /// Largest per-frame gap `known_symbolic − known_v3`: how many state
+    /// bits the three-valued logic loses to its pessimism.
+    pub fn max_pessimism_gap(&self) -> usize {
+        self.known_symbolic
+            .iter()
+            .zip(&self.known_v3)
+            .map(|(&s, &v)| s.saturating_sub(v))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Profiles how far `seq` synchronizes the fault-free circuit.
+///
+/// # Example
+///
+/// ```
+/// use motsim::{synch, TestSequence};
+///
+/// let circuit = motsim_circuits::generators::counter(4);
+/// let clear = TestSequence::new(2, vec![vec![false, true]]);
+/// assert!(synch::profile(&circuit, &clear).synchronizes());
+/// ```
+pub fn profile(netlist: &Netlist, seq: &TestSequence) -> SynchronizationProfile {
+    profile_with_limit(netlist, seq, None).expect("unlimited run cannot fail")
+}
+
+/// [`profile`] under an optional BDD node limit.
+///
+/// # Errors
+///
+/// Fails with [`BddError::NodeLimit`] if the limit is exceeded.
+pub fn profile_with_limit(
+    netlist: &Netlist,
+    seq: &TestSequence,
+    node_limit: Option<usize>,
+) -> Result<SynchronizationProfile, BddError> {
+    let mgr = motsim_bdd::BddManager::new();
+    mgr.set_node_limit(node_limit);
+    let mut sym = SymbolicTrueSim::with_manager(netlist, mgr);
+    let mut v3 = TrueSim::new(netlist);
+    let mut known_v3 = Vec::with_capacity(seq.len());
+    let mut known_symbolic = Vec::with_capacity(seq.len());
+    for v in seq {
+        sym.step(v)?;
+        v3.step(v);
+        known_v3.push(v3.state().iter().filter(|x| x.is_known()).count());
+        known_symbolic.push(sym.state().iter().filter(|b| b.is_const()).count());
+    }
+    Ok(SynchronizationProfile {
+        dffs: netlist.num_dffs(),
+        known_v3,
+        known_symbolic,
+    })
+}
+
+/// Configuration of the synchronizing-sequence search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynchConfig {
+    /// Candidate vectors per frame.
+    pub candidates: usize,
+    /// Give up after this many frames.
+    pub max_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynchConfig {
+    fn default() -> Self {
+        SynchConfig {
+            candidates: 16,
+            max_len: 64,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Greedily searches for a synchronizing sequence: each frame commits the
+/// candidate vector that maximises the number of *symbolically* constant
+/// state bits. Returns the sequence if full synchronization was reached.
+///
+/// Because the score is exact (BDD constancy, not three-valued
+/// knowledge), this finds synchronizing sequences for the circuit classes
+/// of \[11\] where any X-based search must fail.
+pub fn find_synchronizing_sequence(netlist: &Netlist, config: SynchConfig) -> Option<TestSequence> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let width = netlist.num_inputs();
+    let m = netlist.num_dffs();
+    let mut sym = SymbolicTrueSim::new(netlist);
+    let mut seq = TestSequence::empty(netlist);
+    for _ in 0..config.max_len {
+        // Evaluate candidates by one-step lookahead on a scratch clone of
+        // the state (the simulator itself is advanced only by the winner).
+        let mut best: Option<(usize, Vec<bool>)> = None;
+        for _ in 0..config.candidates.max(1) {
+            let cand: Vec<bool> = (0..width).map(|_| rng.gen_bool(0.5)).collect();
+            let values =
+                crate::symbolic::eval_frame_bdd(netlist, sym.manager(), sym.state(), &cand)
+                    .expect("unlimited");
+            let known = netlist
+                .dffs()
+                .iter()
+                .map(|&q| &values[netlist.dff_d(q).index()])
+                .filter(|b| b.is_const())
+                .count();
+            if best.as_ref().map(|(k, _)| known > *k).unwrap_or(true) {
+                best = Some((known, cand));
+            }
+        }
+        let (known, vector) = best.expect("at least one candidate");
+        sym.step(&vector).expect("unlimited");
+        seq.push(vector);
+        if known == m {
+            return Some(seq);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motsim_circuits::generators::{counter, lfsr, shift_register};
+
+    #[test]
+    fn counter_clear_synchronizes_in_one_frame() {
+        let n = counter(6);
+        // EN=0, CLR=1 clears everything.
+        let seq = TestSequence::new(2, vec![vec![false, true]]);
+        let p = profile(&n, &seq);
+        assert!(p.synchronizes());
+        assert_eq!(p.sync_frame(), Some(0));
+        assert!(p.synchronizes_v3(), "clear is visible to V3 too");
+    }
+
+    #[test]
+    fn shift_register_synchronizes_after_depth_frames() {
+        let n = shift_register(5);
+        let seq = TestSequence::new(1, vec![vec![true]; 7]);
+        let p = profile(&n, &seq);
+        assert_eq!(p.sync_frame(), Some(4), "five stages need five shifts");
+        // Pipelines are V3-friendly: no pessimism gap.
+        assert_eq!(p.max_pessimism_gap(), 0);
+    }
+
+    #[test]
+    fn symbolic_beats_v3_on_xor_feedback() {
+        // An LFSR stage computes Q0' = (taps XOR) ⊕ IN; the V3 simulator
+        // can never learn Q0' (X ⊕ X = X), but symbolically pushing enough
+        // known bits through the shift chain synchronizes stage by stage…
+        // except the feedback keeps mixing unknowns back in. Build a
+        // self-cancelling case instead: Q' = Q ⊕ Q is constant 0
+        // symbolically, X for V3.
+        use motsim_netlist::{builder::NetlistBuilder, GateKind};
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        let d = b.add_gate("D", GateKind::Xor, vec![q, q]).unwrap();
+        let z = b.add_gate("Z", GateKind::And, vec![a, q]).unwrap();
+        b.connect_dff(q, d).unwrap();
+        b.add_output(z);
+        let n = b.finish().unwrap();
+        let seq = TestSequence::new(1, vec![vec![true]]);
+        let p = profile(&n, &seq);
+        assert_eq!(p.known_symbolic, vec![1]);
+        assert_eq!(p.known_v3, vec![0]);
+        assert_eq!(p.max_pessimism_gap(), 1);
+        assert!(p.synchronizes());
+        assert!(!p.synchronizes_v3());
+    }
+
+    #[test]
+    fn finds_clear_for_counter() {
+        let n = counter(8);
+        let seq = find_synchronizing_sequence(&n, SynchConfig::default())
+            .expect("counter is synchronizable");
+        let p = profile(&n, &seq);
+        assert!(p.synchronizes());
+    }
+
+    #[test]
+    fn gives_up_on_unsynchronizable_circuit() {
+        // A pure hold register can never be synchronized.
+        use motsim_netlist::{builder::NetlistBuilder, GateKind};
+        let mut b = NetlistBuilder::new("hold");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+        let z = b.add_gate("Z", GateKind::Xor, vec![a, q]).unwrap();
+        b.connect_dff(q, keep).unwrap();
+        b.add_output(z);
+        let n = b.finish().unwrap();
+        let cfg = SynchConfig {
+            max_len: 8,
+            ..SynchConfig::default()
+        };
+        assert!(find_synchronizing_sequence(&n, cfg).is_none());
+    }
+
+    #[test]
+    fn lfsr_profile_is_consistent() {
+        let n = lfsr(6, &[0, 3]);
+        let seq = TestSequence::random(&n, 20, 3);
+        let p = profile(&n, &seq);
+        // Symbolic knowledge dominates V3 knowledge frame by frame.
+        for (s, v) in p.known_symbolic.iter().zip(&p.known_v3) {
+            assert!(s >= v);
+        }
+    }
+
+    #[test]
+    fn profile_with_limit_can_fail() {
+        let n = counter(16);
+        let seq = TestSequence::random(&n, 20, 1);
+        // Absurdly small limit: symbolic profiling must fail cleanly.
+        let r = profile_with_limit(&n, &seq, Some(4));
+        assert!(r.is_err());
+    }
+}

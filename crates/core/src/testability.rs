@@ -1,0 +1,350 @@
+//! SCOAP testability measures (Goldstein \[6\], cited in Section III).
+//!
+//! The paper positions `ID_X-red` against classical testability analysis:
+//! SCOAP-style measures identify faults that are hard (or impossible) to
+//! detect with *any* sequence, while `ID_X-red` exploits the concrete
+//! sequence at hand. This module implements the classical measures so the
+//! two can be compared:
+//!
+//! - **CC0/CC1** (controllability): effort to set a net to 0/1,
+//! - **CO** (observability): effort to propagate a net's value to a
+//!   primary output,
+//!
+//! extended to sequential circuits by the usual flip-flop rules
+//! (`CC(Q) = CC(D) + 1`, `CO(D) = CO(Q) + 1`) and computed as monotone
+//! fixpoints over the feedback. Unreachable goals saturate at
+//! [`INFINITY`].
+
+use motsim_netlist::{GateKind, NetId, Netlist, NodeKind};
+
+use crate::faults::Fault;
+
+/// Saturation value for unattainable goals (e.g. a net that can never be
+/// driven to 1).
+pub const INFINITY: u32 = u32::MAX / 4;
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(INFINITY)
+}
+
+/// SCOAP controllability/observability numbers for every net.
+#[derive(Debug, Clone)]
+pub struct Testability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Testability {
+    /// Computes the measures for `netlist` (fixpoint over feedback loops).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use motsim::testability::Testability;
+    ///
+    /// let circuit = motsim_circuits::s27();
+    /// let t = Testability::analyze(&circuit);
+    /// let g0 = circuit.find("G0").unwrap();
+    /// assert_eq!(t.cc0(g0), 1); // primary inputs cost 1
+    /// ```
+    pub fn analyze(netlist: &Netlist) -> Self {
+        let n = netlist.num_nets();
+        let mut cc0 = vec![INFINITY; n];
+        let mut cc1 = vec![INFINITY; n];
+        for &pi in netlist.inputs() {
+            cc0[pi.index()] = 1;
+            cc1[pi.index()] = 1;
+        }
+        // Controllability fixpoint (monotone decreasing).
+        loop {
+            let mut changed = false;
+            for &g in netlist.eval_order() {
+                let (c0, c1) = gate_controllability(netlist, g, &cc0, &cc1);
+                if c0 < cc0[g.index()] || c1 < cc1[g.index()] {
+                    cc0[g.index()] = cc0[g.index()].min(c0);
+                    cc1[g.index()] = cc1[g.index()].min(c1);
+                    changed = true;
+                }
+            }
+            for &q in netlist.dffs() {
+                let d = netlist.dff_d(q);
+                let c0 = sat_add(cc0[d.index()], 1);
+                let c1 = sat_add(cc1[d.index()], 1);
+                if c0 < cc0[q.index()] || c1 < cc1[q.index()] {
+                    cc0[q.index()] = cc0[q.index()].min(c0);
+                    cc1[q.index()] = cc1[q.index()].min(c1);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Observability fixpoint.
+        let mut co = vec![INFINITY; n];
+        for &po in netlist.outputs() {
+            co[po.index()] = 0;
+        }
+        loop {
+            let mut changed = false;
+            // Process sinks: a net's CO improves through any sink.
+            for id in netlist.net_ids() {
+                let net = netlist.net(id);
+                match net.kind() {
+                    NodeKind::Gate(kind) => {
+                        for (pin, &f) in net.fanin().iter().enumerate() {
+                            let v = input_observability(netlist, id, kind, pin, &cc0, &cc1, &co);
+                            if v < co[f.index()] {
+                                co[f.index()] = v;
+                                changed = true;
+                            }
+                        }
+                    }
+                    NodeKind::Dff(_) => {
+                        let d = net.fanin()[0];
+                        let v = sat_add(co[id.index()], 1);
+                        if v < co[d.index()] {
+                            co[d.index()] = v;
+                            changed = true;
+                        }
+                    }
+                    NodeKind::Input(_) => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Testability { cc0, cc1, co }
+    }
+
+    /// Effort to drive `net` to 0.
+    pub fn cc0(&self, net: NetId) -> u32 {
+        self.cc0[net.index()]
+    }
+
+    /// Effort to drive `net` to 1.
+    pub fn cc1(&self, net: NetId) -> u32 {
+        self.cc1[net.index()]
+    }
+
+    /// Effort to observe `net` at a primary output.
+    pub fn co(&self, net: NetId) -> u32 {
+        self.co[net.index()]
+    }
+
+    /// The SCOAP detection cost of a stuck-at fault: excitation (drive the
+    /// net to the opposite value) plus observation. [`INFINITY`]-saturated
+    /// costs indicate faults no sequence can detect under this (structural,
+    /// pessimism-free in the other direction) model.
+    pub fn detect_cost(&self, fault: Fault) -> u32 {
+        let excite = if fault.stuck {
+            self.cc0(fault.lead.net)
+        } else {
+            self.cc1(fault.lead.net)
+        };
+        sat_add(excite, self.co(fault.lead.net))
+    }
+
+    /// `true` if the SCOAP model says no sequence can detect the fault
+    /// (excitation or observation saturates).
+    pub fn is_untestable(&self, fault: Fault) -> bool {
+        self.detect_cost(fault) >= INFINITY
+    }
+}
+
+fn gate_controllability(netlist: &Netlist, g: NetId, cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
+    let net = netlist.net(g);
+    let NodeKind::Gate(kind) = net.kind() else {
+        unreachable!("gate expected")
+    };
+    let ins = net.fanin();
+    let min0 = || ins.iter().map(|f| cc0[f.index()]).min().unwrap_or(INFINITY);
+    let min1 = || ins.iter().map(|f| cc1[f.index()]).min().unwrap_or(INFINITY);
+    let sum0 = || ins.iter().fold(0u32, |a, f| sat_add(a, cc0[f.index()]));
+    let sum1 = || ins.iter().fold(0u32, |a, f| sat_add(a, cc1[f.index()]));
+    let (c0, c1) = match kind {
+        GateKind::And => (min0(), sum1()),
+        GateKind::Nand => (sum1(), min0()),
+        GateKind::Or => (sum0(), min1()),
+        GateKind::Nor => (min1(), sum0()),
+        GateKind::Not => (cc1[ins[0].index()], cc0[ins[0].index()]),
+        GateKind::Buf => (cc0[ins[0].index()], cc1[ins[0].index()]),
+        GateKind::Xor | GateKind::Xnor => {
+            // Parity DP: cheapest way to reach even/odd parity.
+            let (mut even, mut odd) = (0u32, INFINITY);
+            for f in ins {
+                let (z, o) = (cc0[f.index()], cc1[f.index()]);
+                let new_even = sat_add(even, z).min(sat_add(odd, o));
+                let new_odd = sat_add(odd, z).min(sat_add(even, o));
+                even = new_even;
+                odd = new_odd;
+            }
+            if kind == GateKind::Xor {
+                (even, odd)
+            } else {
+                (odd, even)
+            }
+        }
+    };
+    (sat_add(c0, 1), sat_add(c1, 1))
+}
+
+fn input_observability(
+    netlist: &Netlist,
+    gate: NetId,
+    kind: GateKind,
+    pin: usize,
+    cc0: &[u32],
+    cc1: &[u32],
+    co: &[u32],
+) -> u32 {
+    let out_co = co[gate.index()];
+    if out_co >= INFINITY {
+        return INFINITY;
+    }
+    let net = netlist.net(gate);
+    let mut cost = sat_add(out_co, 1);
+    for (p2, &f) in net.fanin().iter().enumerate() {
+        if p2 == pin {
+            continue;
+        }
+        // Side inputs must take the non-controlling value; XOR sides must
+        // merely be set to a known value (cheapest of both).
+        let side = match kind {
+            GateKind::And | GateKind::Nand => cc1[f.index()],
+            GateKind::Or | GateKind::Nor => cc0[f.index()],
+            GateKind::Xor | GateKind::Xnor => cc0[f.index()].min(cc1[f.index()]),
+            GateKind::Not | GateKind::Buf => 0,
+        };
+        cost = sat_add(cost, side);
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motsim_netlist::builder::NetlistBuilder;
+    use motsim_netlist::Lead;
+
+    #[test]
+    fn textbook_and_gate() {
+        // Z = AND(A, B), PO Z. CC1(Z) = CC1(A)+CC1(B)+1 = 3;
+        // CC0(Z) = min(CC0) + 1 = 2; CO(A) = CO(Z)+CC1(B)+1 = 2.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let bb = b.add_input("B").unwrap();
+        let z = b.add_gate("Z", GateKind::And, vec![a, bb]).unwrap();
+        b.add_output(z);
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert_eq!(t.cc1(z), 3);
+        assert_eq!(t.cc0(z), 2);
+        assert_eq!(t.co(z), 0);
+        assert_eq!(t.co(a), 2);
+        assert_eq!(t.cc0(a), 1);
+    }
+
+    #[test]
+    fn xor_parity_dp() {
+        // Z = XOR(A, B): CC1 = min(CC1+CC0, CC0+CC1)+1 = 3, CC0 likewise 3.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let bb = b.add_input("B").unwrap();
+        let z = b.add_gate("Z", GateKind::Xor, vec![a, bb]).unwrap();
+        b.add_output(z);
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert_eq!(t.cc1(z), 3);
+        assert_eq!(t.cc0(z), 3);
+    }
+
+    #[test]
+    fn flip_flop_adds_sequential_depth() {
+        // A -> D -> Q -> Z: controllability of Q is one more than A's.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        b.connect_dff(q, a).unwrap();
+        let z = b.add_gate("Z", GateKind::Buf, vec![q]).unwrap();
+        b.add_output(z);
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert_eq!(t.cc1(q), 2);
+        assert_eq!(t.cc0(q), 2);
+        assert_eq!(t.co(a), 2); // through the FF (+1) and the buffer (+1)
+    }
+
+    #[test]
+    fn feedback_fixpoint_terminates_and_saturates() {
+        // Q' = OR(Q, A): once 1, always 1 -> CC0(Q) is unreachable except
+        // via the initial... with no reset, SCOAP says CC0(Q) = CC0(D)+1 =
+        // (CC0(Q)+CC0(A)+1)+1 -> only solution is saturation.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        let d = b.add_gate("D", GateKind::Or, vec![q, a]).unwrap();
+        b.connect_dff(q, d).unwrap();
+        let z = b.add_gate("Z", GateKind::Buf, vec![q]).unwrap();
+        b.add_output(z);
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert!(t.cc0(q) >= INFINITY, "sticky-1 loop must saturate CC0");
+        assert!(t.cc1(q) < INFINITY);
+        // The stuck-at-1 fault on Q is untestable in this model.
+        assert!(t.is_untestable(Fault::stuck_at_1(Lead::stem(q))));
+        assert!(!t.is_untestable(Fault::stuck_at_0(Lead::stem(q))));
+    }
+
+    #[test]
+    fn unobservable_cone_saturates_co() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let g = b.add_gate("G", GateKind::Not, vec![a]).unwrap();
+        let q = b.add_dff("Q").unwrap();
+        b.connect_dff(q, g).unwrap(); // Q feeds nothing
+        let z = b.add_gate("Z", GateKind::Buf, vec![a]).unwrap();
+        b.add_output(z);
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert!(t.co(g) >= INFINITY);
+        assert_eq!(t.co(a), 1);
+    }
+
+    #[test]
+    fn scoap_untestable_implies_xred_static() {
+        // SCOAP untestability (structural) must imply the static X-red
+        // analysis flags the fault too (its model is strictly more
+        // pessimistic about X-propagation, never less about structure).
+        let n = motsim_circuits::suite::by_name("g298").unwrap();
+        let t = Testability::analyze(&n);
+        let xred = crate::xred::XRedAnalysis::analyze_static(&n);
+        for f in crate::faults::FaultList::complete(&n).iter() {
+            if t.is_untestable(*f) {
+                assert!(
+                    xred.is_undetectable(*f),
+                    "SCOAP says untestable but static X-red disagrees: {}",
+                    f.display(&n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn costs_are_positive_and_monotone_along_chains() {
+        let n = motsim_circuits::generators::shift_register(6);
+        let t = Testability::analyze(&n);
+        // Deeper stages cost more to control.
+        let mut last = 0;
+        for i in 0..6 {
+            let q = n.find(&format!("S{i}")).unwrap();
+            let c = t.cc1(q);
+            assert!(c > last, "stage {i}: {c} <= {last}");
+            last = c;
+        }
+    }
+}

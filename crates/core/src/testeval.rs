@@ -1,0 +1,404 @@
+//! Symbolic test evaluation (paper Section IV.B, Table IV).
+//!
+//! After a MOT test sequence is applied to a circuit-under-test, deciding
+//! "is this device faulty?" is non-trivial: the fault-free machine can
+//! produce a whole *set* of output sequences (one per initial state), which
+//! may be exponential in the number of memory elements. Instead of
+//! enumerating them, the paper compares the observed response
+//! `c(1) … c(n)` against the *symbolic* output sequence by evaluating
+//!
+//! ```text
+//! ∏_{t=1..n} ∏_{j=1..l} [ o_j(x, t) ≡ c_j(t) ]
+//! ```
+//!
+//! step by step; the device is faulty iff the product collapses to **0**
+//! (no initial state explains the response).
+//!
+//! When the OBDDs exceed the node limit, a three-valued *prefix* is used:
+//! the first frames are checked with the pessimistic rule (a known
+//! fault-free value that contradicts the response proves faultiness), and
+//! the symbolic sequence starts from the projected state — the asterisked
+//! rows of Table IV.
+
+use motsim_bdd::{Bdd, BddError, BddManager};
+use motsim_logic::V3;
+use motsim_netlist::Netlist;
+
+use crate::pattern::TestSequence;
+use crate::sim3::TrueSim;
+use crate::symbolic::SymbolicTrueSim;
+
+/// The symbolic output sequence of the fault-free circuit: one BDD per
+/// (frame, output) from the symbolic suffix, plus the three-valued values
+/// of the prefix frames (empty unless a node limit forced a prefix).
+#[derive(Debug)]
+pub struct SymbolicOutputSequence {
+    mgr: BddManager,
+    /// Three-valued outputs of the prefix frames.
+    prefix: Vec<Vec<V3>>,
+    /// Symbolic outputs of the remaining frames.
+    frames: Vec<Vec<Bdd>>,
+}
+
+impl SymbolicOutputSequence {
+    /// Computes the symbolic output sequence of `netlist` under `seq`.
+    ///
+    /// With `node_limit = None` the whole sequence is symbolic. With a
+    /// limit, frames that cannot be represented are absorbed into a
+    /// three-valued prefix and the symbolic part restarts from the
+    /// projected state (fresh unknowns for the `X` bits) — the same
+    /// over-approximation the hybrid fault simulator uses, so a *faulty*
+    /// verdict remains sound.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use motsim::testeval::{reference_response, SymbolicOutputSequence};
+    /// use motsim::TestSequence;
+    ///
+    /// let circuit = motsim_circuits::s27();
+    /// let seq = TestSequence::random(&circuit, 30, 1);
+    /// let sos = SymbolicOutputSequence::compute(&circuit, &seq, Some(30_000));
+    /// let response = reference_response(&circuit, &seq, &[false; 3]);
+    /// assert!(!sos.evaluate(&response).is_faulty());
+    /// ```
+    pub fn compute(netlist: &Netlist, seq: &TestSequence, node_limit: Option<usize>) -> Self {
+        let mut prefix: Vec<Vec<V3>> = Vec::new();
+        let mut v3 = TrueSim::new(netlist);
+        let mut t0 = 0usize;
+        'outer: loop {
+            let mgr = BddManager::new();
+            mgr.set_node_limit(node_limit);
+            let mut sym = SymbolicTrueSim::with_manager(netlist, mgr);
+            if t0 > 0 {
+                // Seed from the three-valued prefix state.
+                let state: Vec<Bdd> = v3
+                    .state()
+                    .iter()
+                    .zip(sym.xvars().to_vec())
+                    .map(|(&v, x)| match v.to_bool() {
+                        Some(b) => sym.manager().constant(b),
+                        None => sym.manager().var(x),
+                    })
+                    .collect();
+                sym.seed_state(state);
+            }
+            let mut frames: Vec<Vec<Bdd>> = Vec::new();
+            #[allow(clippy::mut_range_bound)] // t0 feeds the *next* 'outer pass
+            for t in t0..seq.len() {
+                match sym.step(seq.vector(t)) {
+                    Ok(()) => frames.push(sym.outputs()),
+                    Err(BddError::NodeLimit { .. }) => {
+                        // Extend the prefix past frame t and retry.
+                        while v3.frames() <= t {
+                            let ft = v3.frames();
+                            v3.step(seq.vector(ft));
+                            prefix.push(v3.outputs());
+                        }
+                        t0 = t + 1;
+                        continue 'outer;
+                    }
+                }
+            }
+            return SymbolicOutputSequence {
+                mgr: sym.manager().clone(),
+                prefix,
+                frames,
+            };
+        }
+    }
+
+    /// Number of prefix frames evaluated three-valued (0 = fully symbolic;
+    /// the asterisk of Table IV).
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Total frames covered (prefix + symbolic).
+    pub fn len(&self) -> usize {
+        self.prefix.len() + self.frames.len()
+    }
+
+    /// Returns `true` if no frames are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shared BDD size of the symbolic output sequence (the "BDD Size"
+    /// column of Table IV): distinct internal nodes over all (frame,
+    /// output) functions.
+    pub fn bdd_size(&self) -> usize {
+        let roots: Vec<&Bdd> = self.frames.iter().flatten().collect();
+        self.mgr.shared_size(&roots)
+    }
+
+    /// Evaluates a device response against the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response shape does not match (frames × outputs).
+    pub fn evaluate(&self, response: &[Vec<bool>]) -> TestVerdict {
+        assert_eq!(response.len(), self.len(), "response length mismatch");
+        // Prefix: pessimistic three-valued comparison.
+        for (t, (expect, got)) in self.prefix.iter().zip(response).enumerate() {
+            assert_eq!(got.len(), expect.len(), "response width mismatch");
+            for (j, (&e, &g)) in expect.iter().zip(got).enumerate() {
+                if let Some(b) = e.to_bool() {
+                    if b != g {
+                        return TestVerdict::Faulty {
+                            frame: t,
+                            output: j,
+                        };
+                    }
+                }
+            }
+        }
+        // Symbolic part: the running product ∏ [o_j(x,t) ≡ c_j(t)].
+        let mut product = self.mgr.one();
+        for (dt, (frame, got)) in self
+            .frames
+            .iter()
+            .zip(&response[self.prefix.len()..])
+            .enumerate()
+        {
+            assert_eq!(got.len(), frame.len(), "response width mismatch");
+            for (j, (o, &c)) in frame.iter().zip(got).enumerate() {
+                let term = if c {
+                    o.clone()
+                } else {
+                    o.not().expect("no limit")
+                };
+                product = product.and(&term).expect("no limit");
+                if product.is_false() {
+                    return TestVerdict::Faulty {
+                        frame: self.prefix.len() + dt,
+                        output: j,
+                    };
+                }
+            }
+        }
+        TestVerdict::Consistent {
+            witnesses: product.sat_count(self.mgr.num_vars()),
+        }
+    }
+}
+
+/// Outcome of a test evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestVerdict {
+    /// No fault-free initial state explains the response: the device is
+    /// faulty. `(frame, output)` locates the decisive observation.
+    Faulty {
+        /// Frame at which the product collapsed to 0.
+        frame: usize,
+        /// Output whose term collapsed it.
+        output: usize,
+    },
+    /// The response is consistent with `witnesses` initial states of the
+    /// fault-free machine (over the symbolic suffix).
+    Consistent {
+        /// Number of explaining initial-state assignments.
+        witnesses: u128,
+    },
+}
+
+impl TestVerdict {
+    /// Is the device proven faulty?
+    pub fn is_faulty(self) -> bool {
+        matches!(self, TestVerdict::Faulty { .. })
+    }
+}
+
+/// A possible fault-free response: simulates the circuit from a concrete
+/// initial state (Table IV's timing experiment does exactly this).
+///
+/// # Panics
+///
+/// Panics if `initial_state` does not match the flip-flop count.
+pub fn reference_response(
+    netlist: &Netlist,
+    seq: &TestSequence,
+    initial_state: &[bool],
+) -> Vec<Vec<bool>> {
+    assert_eq!(
+        initial_state.len(),
+        netlist.num_dffs(),
+        "initial state width mismatch"
+    );
+    let mut state: Vec<u64> = initial_state
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
+    let mut values = Vec::new();
+    let mut out = Vec::with_capacity(seq.len());
+    for v in seq {
+        crate::simb::eval_frame_u64(
+            netlist,
+            &state,
+            &crate::simb::broadcast(v),
+            None,
+            &mut values,
+        );
+        out.push(
+            netlist
+                .outputs()
+                .iter()
+                .map(|&o| values[o.index()] & 1 == 1)
+                .collect(),
+        );
+        crate::simb::next_state_u64(netlist, &values, None, &mut state);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_response_is_consistent() {
+        let n = motsim_circuits::s27();
+        let seq = TestSequence::random(&n, 40, 3);
+        let sos = SymbolicOutputSequence::compute(&n, &seq, None);
+        assert_eq!(sos.prefix_len(), 0);
+        assert_eq!(sos.len(), 40);
+        assert!(sos.bdd_size() < 1000, "s27 outputs stay tiny");
+        for init in 0..8u32 {
+            let st: Vec<bool> = (0..3).map(|i| (init >> i) & 1 == 1).collect();
+            let resp = reference_response(&n, &seq, &st);
+            let verdict = sos.evaluate(&resp);
+            assert!(
+                !verdict.is_faulty(),
+                "fault-free response from state {init} rejected"
+            );
+            if let TestVerdict::Consistent { witnesses } = verdict {
+                assert!(witnesses >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_response_is_faulty() {
+        let n = motsim_circuits::s27();
+        let seq = TestSequence::random(&n, 40, 3);
+        let sos = SymbolicOutputSequence::compute(&n, &seq, None);
+        let mut resp = reference_response(&n, &seq, &[false, false, false]);
+        // Find a frame whose output is a *constant* (known regardless of
+        // the initial state) and flip it: provably faulty.
+        let mut v3 = TrueSim::new(&n);
+        let mut flipped = None;
+        for (t, v) in seq.iter().enumerate() {
+            v3.step(v);
+            if v3.outputs()[0].is_known() {
+                resp[t][0] = !resp[t][0];
+                flipped = Some(t);
+                break;
+            }
+        }
+        let t = flipped.expect("some frame must have a known output");
+        match sos.evaluate(&resp) {
+            TestVerdict::Faulty { frame, .. } => assert!(frame <= t),
+            v => panic!("expected faulty, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_machine_response_rejected_for_mot_detected_fault() {
+        // For a MOT-detected fault, *every* faulty response must be
+        // rejected (that is what Definition 3 means operationally).
+        use crate::symbolic::{Strategy, SymbolicFaultSim};
+        let n = motsim_circuits::generators::counter(4);
+        let seq = TestSequence::random(&n, 24, 5);
+        let faults = crate::faults::FaultList::collapsed(&n);
+        let outcome = SymbolicFaultSim::new(&n, Strategy::Mot)
+            .run(&seq, faults.iter().cloned())
+            .unwrap();
+        let detected: Vec<_> = outcome.detected_faults().collect();
+        assert!(!detected.is_empty());
+        let sos = SymbolicOutputSequence::compute(&n, &seq, None);
+        let fault = detected[0];
+        // Simulate the faulty machine from a few initial states.
+        for init in [0usize, 5, 9, 15] {
+            let m = n.num_dffs();
+            let st: Vec<u64> = (0..m)
+                .map(|i| if (init >> i) & 1 == 1 { u64::MAX } else { 0 })
+                .collect();
+            let mut state = st;
+            let mut values = Vec::new();
+            let mut resp = Vec::new();
+            for v in &seq {
+                crate::simb::eval_frame_u64(
+                    &n,
+                    &state,
+                    &crate::simb::broadcast(v),
+                    Some(fault),
+                    &mut values,
+                );
+                resp.push(
+                    n.outputs()
+                        .iter()
+                        .map(|&o| values[o.index()] & 1 == 1)
+                        .collect::<Vec<bool>>(),
+                );
+                crate::simb::next_state_u64(&n, &values, Some(fault), &mut state);
+            }
+            assert!(
+                sos.evaluate(&resp).is_faulty(),
+                "MOT-detected fault {} produced an accepted response from state {init}",
+                fault.display(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn node_limit_forces_prefix_and_stays_sound() {
+        let n = motsim_circuits::generators::counter(12);
+        let seq = TestSequence::random(&n, 30, 8);
+        let sos = SymbolicOutputSequence::compute(&n, &seq, Some(60));
+        assert!(
+            sos.prefix_len() > 0,
+            "limit of 60 nodes must force a prefix"
+        );
+        assert_eq!(sos.len(), 30);
+        // A genuine fault-free response must still be accepted.
+        let resp = reference_response(&n, &seq, &[false; 12]);
+        assert!(!sos.evaluate(&resp).is_faulty());
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_shapes() {
+        let n = motsim_circuits::s27();
+        let seq = TestSequence::random(&n, 5, 1);
+        let sos = SymbolicOutputSequence::compute(&n, &seq, None);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sos.evaluate(&[]);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state width")]
+    fn reference_response_checks_state_width() {
+        let n = motsim_circuits::s27();
+        let seq = TestSequence::random(&n, 2, 1);
+        reference_response(&n, &seq, &[false]);
+    }
+
+    #[test]
+    fn reference_response_matches_known_outputs() {
+        // Wherever the all-X three-valued sim knows the output, every
+        // concrete-state response must agree.
+        let n = motsim_circuits::s27();
+        let seq = TestSequence::random(&n, 20, 6);
+        let resp = reference_response(&n, &seq, &[true, false, true]);
+        let mut v3 = TrueSim::new(&n);
+        for (t, v) in seq.iter().enumerate() {
+            v3.step(v);
+            for (j, val) in v3.outputs().into_iter().enumerate() {
+                if let Some(b) = val.to_bool() {
+                    assert_eq!(resp[t][j], b, "frame {t} output {j}");
+                }
+            }
+        }
+    }
+}

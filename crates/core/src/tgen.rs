@@ -1,0 +1,178 @@
+//! Fault-simulation-guided generation of compact test sequences.
+//!
+//! Table III evaluates the strategies on "deterministic" (fault-oriented)
+//! sequences from the literature. We do not ship those sequences; this
+//! module generates ones with the same qualitative property — short, high
+//! coverage per vector — by greedy lookahead: each round draws a handful of
+//! candidate vectors, scores them by how many *new* faults a three-valued
+//! fault simulation would detect, commits the best one, and stops when the
+//! coverage stalls. (See `DESIGN.md` §2 for the substitution rationale.)
+
+use motsim_netlist::Netlist;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::faults::Fault;
+use crate::pattern::TestSequence;
+use crate::sim3::FaultSim3;
+
+/// Parameters of the greedy generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TgenConfig {
+    /// Candidate vectors scored per round.
+    pub candidates: usize,
+    /// Hard length cap.
+    pub max_len: usize,
+    /// Stop after this many consecutive rounds without a new detection.
+    pub stall_rounds: usize,
+    /// RNG seed (the generator is deterministic).
+    pub seed: u64,
+}
+
+impl Default for TgenConfig {
+    fn default() -> Self {
+        TgenConfig {
+            candidates: 8,
+            max_len: 500,
+            stall_rounds: 12,
+            seed: 0xDAC95,
+        }
+    }
+}
+
+/// Generates a compact fault-oriented test sequence for `faults`.
+///
+/// The result is deterministic in `config.seed`. Stalled rounds still
+/// commit their best candidate (a random walk is needed to reach deeper
+/// states), so the sequence can be up to `stall_rounds` longer than its
+/// last detecting vector.
+///
+/// # Example
+///
+/// ```
+/// use motsim::tgen::{generate, TgenConfig};
+/// use motsim::FaultList;
+///
+/// let circuit = motsim_circuits::s27();
+/// let faults = FaultList::collapsed(&circuit);
+/// let seq = generate(&circuit, faults.iter().cloned(), TgenConfig::default());
+/// assert!(!seq.is_empty());
+/// ```
+pub fn generate(
+    netlist: &Netlist,
+    faults: impl IntoIterator<Item = Fault>,
+    config: TgenConfig,
+) -> TestSequence {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let width = netlist.num_inputs();
+    let mut seq = TestSequence::empty(netlist);
+    let mut sim = FaultSim3::new(netlist, faults);
+    let mut stalled = 0usize;
+
+    while seq.len() < config.max_len && stalled < config.stall_rounds && sim.live_faults() > 0 {
+        // Score = (new detections, synchronized state bits): the tie-break
+        // steers stalled rounds toward vectors that pin down more of the
+        // unknown state, which is what eventually unlocks detections.
+        let mut best: Option<((usize, usize), Vec<bool>, FaultSim3<'_>)> = None;
+        for _ in 0..config.candidates.max(1) {
+            let cand: Vec<bool> = (0..width).map(|_| rng.gen_bool(0.5)).collect();
+            let mut trial = sim.clone();
+            let newly = trial.step(&cand).len();
+            let known = trial.true_state().iter().filter(|v| v.is_known()).count();
+            let score = (newly, known);
+            let better = match &best {
+                None => true,
+                Some((s, _, _)) => score > *s,
+            };
+            if better {
+                best = Some((score, cand, trial));
+            }
+        }
+        let ((newly, _), vector, trial) = best.expect("at least one candidate");
+        sim = trial;
+        seq.push(vector);
+        if newly == 0 {
+            stalled += 1;
+        } else {
+            stalled = 0;
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultList;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let n = motsim_circuits::s27();
+        let faults = FaultList::collapsed(&n);
+        let a = generate(&n, faults.iter().cloned(), TgenConfig::default());
+        let b = generate(&n, faults.iter().cloned(), TgenConfig::default());
+        assert_eq!(a, b);
+        let c = generate(
+            &n,
+            faults.iter().cloned(),
+            TgenConfig {
+                seed: 7,
+                ..TgenConfig::default()
+            },
+        );
+        // Different seed virtually always gives a different sequence.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn competitive_with_random_at_same_length() {
+        // Greedy one-step lookahead is not strictly dominant, but on a
+        // structured circuit it must stay within a few percent of a random
+        // sequence of the same length (and usually beats it).
+        let n = motsim_circuits::generators::counter(6);
+        let faults = FaultList::collapsed(&n);
+        let guided = generate(&n, faults.iter().cloned(), TgenConfig::default());
+        let random = TestSequence::random(&n, guided.len(), 1);
+        let g = FaultSim3::run(&n, &guided, faults.iter().cloned());
+        let r = FaultSim3::run(&n, &random, faults.iter().cloned());
+        assert!(
+            g.num_detected() * 20 >= r.num_detected() * 19,
+            "guided {} far below random {}",
+            g.num_detected(),
+            r.num_detected()
+        );
+        assert!(g.num_detected() > faults.len() / 2, "low absolute coverage");
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let n = motsim_circuits::s27();
+        let faults = FaultList::collapsed(&n);
+        let seq = generate(
+            &n,
+            faults.iter().cloned(),
+            TgenConfig {
+                max_len: 3,
+                ..TgenConfig::default()
+            },
+        );
+        assert!(seq.len() <= 3);
+    }
+
+    #[test]
+    fn stops_when_stalled() {
+        // With no faults at all every round stalls; the generator must stop
+        // after exactly `stall_rounds` vectors.
+        let n = motsim_circuits::s27();
+        let seq = generate(
+            &n,
+            std::iter::empty(),
+            TgenConfig {
+                stall_rounds: 4,
+                max_len: 100,
+                ..TgenConfig::default()
+            },
+        );
+        assert!(seq.len() <= 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests of the logic crate: algebraic laws of `V3` and the
+//! Galois-style relationship between `V3` simulation and `V4` abstraction.
+
+use motsim_logic::{eval_gate, eval_gate_v4, V3, V4};
+use motsim_netlist::GateKind;
+use proptest::prelude::*;
+
+fn arb_v3() -> impl Strategy<Value = V3> {
+    prop_oneof![Just(V3::Zero), Just(V3::One), Just(V3::X)]
+}
+
+fn arb_v4() -> impl Strategy<Value = V4> {
+    prop_oneof![Just(V4::X), Just(V4::X0), Just(V4::X1), Just(V4::X01)]
+}
+
+fn arb_kind() -> impl Strategy<Value = GateKind> {
+    prop_oneof![
+        Just(GateKind::And),
+        Just(GateKind::Nand),
+        Just(GateKind::Or),
+        Just(GateKind::Nor),
+        Just(GateKind::Xor),
+        Just(GateKind::Xnor),
+    ]
+}
+
+/// v3 ∈ γ(v4): the concrete value is a member of the abstract set.
+fn member(v3: V3, v4: V4) -> bool {
+    match v3 {
+        V3::X => true,
+        V3::Zero => v4.has_zero(),
+        V3::One => v4.has_one(),
+    }
+}
+
+proptest! {
+    /// Kleene associativity of AND/OR/XOR over arbitrary triples.
+    #[test]
+    fn associativity(a in arb_v3(), b in arb_v3(), c in arb_v3()) {
+        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+        prop_assert_eq!(a.xor(b).xor(c), a.xor(b.xor(c)));
+    }
+
+    /// Distributivity of AND over OR in Kleene logic.
+    #[test]
+    fn distributivity(a in arb_v3(), b in arb_v3(), c in arb_v3()) {
+        prop_assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+    }
+
+    /// Monotonicity in the information order: replacing an `X` input by a
+    /// known value never turns a known output into a different known value.
+    #[test]
+    fn x_refinement_is_monotone(
+        kind in arb_kind(),
+        inputs in prop::collection::vec(arb_v3(), 1..5),
+        pos in any::<prop::sample::Index>(),
+        refine in any::<bool>(),
+    ) {
+        let base = eval_gate(kind, &inputs);
+        let i = pos.index(inputs.len());
+        if inputs[i] == V3::X {
+            let mut refined = inputs.clone();
+            refined[i] = V3::from_bool(refine);
+            let out = eval_gate(kind, &refined);
+            if base.is_known() {
+                prop_assert_eq!(out, base, "refinement changed a known output");
+            }
+        }
+    }
+
+    /// Soundness of the V4 transfer function: whenever concrete inputs are
+    /// members of the abstract inputs, the concrete output is a member of
+    /// the abstract output.
+    #[test]
+    fn v4_transfer_is_sound(
+        kind in arb_kind(),
+        pairs in prop::collection::vec((arb_v3(), arb_v4()), 1..5),
+    ) {
+        let concrete: Vec<V3> = pairs.iter().map(|(c, _)| *c).collect();
+        let abst: Vec<V4> = pairs.iter().map(|(_, a)| *a).collect();
+        prop_assume!(pairs.iter().all(|(c, a)| member(*c, *a)));
+        let out_c = eval_gate(kind, &concrete);
+        let out_a = eval_gate_v4(kind, &abst);
+        prop_assert!(
+            member(out_c, out_a),
+            "{kind}: {out_c} not in {out_a}"
+        );
+    }
+
+    /// Monotonicity of the V4 transfer function in the lattice order.
+    #[test]
+    fn v4_transfer_is_monotone(
+        kind in arb_kind(),
+        lo in prop::collection::vec(arb_v4(), 1..4),
+        grow in prop::collection::vec(arb_v4(), 1..4),
+    ) {
+        prop_assume!(lo.len() == grow.len());
+        let hi: Vec<V4> = lo.iter().zip(&grow).map(|(a, b)| a.join(*b)).collect();
+        let out_lo = eval_gate_v4(kind, &lo);
+        let out_hi = eval_gate_v4(kind, &hi);
+        prop_assert!(out_lo.le(out_hi), "{kind}: {out_lo} ⋢ {out_hi}");
+    }
+
+    /// Double negation and De Morgan over whole gates: NAND = NOT ∘ AND.
+    #[test]
+    fn inverting_kinds_are_negations(inputs in prop::collection::vec(arb_v3(), 1..5)) {
+        prop_assert_eq!(
+            eval_gate(GateKind::Nand, &inputs),
+            !eval_gate(GateKind::And, &inputs)
+        );
+        prop_assert_eq!(
+            eval_gate(GateKind::Nor, &inputs),
+            !eval_gate(GateKind::Or, &inputs)
+        );
+        prop_assert_eq!(
+            eval_gate(GateKind::Xnor, &inputs),
+            !eval_gate(GateKind::Xor, &inputs)
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz DOT export of the circuit structure.
+
+use std::fmt::Write as _;
+
+use crate::model::{Netlist, NodeKind};
+
+/// Renders the netlist as a Graphviz `digraph`: inputs as triangles,
+/// flip-flops as boxes (with dashed feedback edges into their D pins),
+/// gates as ellipses labelled with their kind, and primary outputs marked
+/// with a double border.
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::from("digraph netlist {\n  rankdir=LR;\n");
+    for id in netlist.net_ids() {
+        let net = netlist.net(id);
+        let name = net.name();
+        let is_po = netlist.is_output(id);
+        let peripheries = if is_po { 2 } else { 1 };
+        match net.kind() {
+            NodeKind::Input(_) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=triangle,orientation=270,label=\"{name}\",peripheries={peripheries}];",
+                    id.index()
+                );
+            }
+            NodeKind::Dff(_) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=box,label=\"{name}\\nDFF\",peripheries={peripheries}];",
+                    id.index()
+                );
+            }
+            NodeKind::Gate(kind) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{name}\\n{kind}\",peripheries={peripheries}];",
+                    id.index()
+                );
+            }
+        }
+    }
+    for id in netlist.net_ids() {
+        let net = netlist.net(id);
+        let style = if net.kind().is_dff() {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        for &f in net.fanin() {
+            let _ = writeln!(out, "  n{} -> n{}{style};", f.index(), id.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::GateKind;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("A").unwrap();
+        let q = b.add_dff("Q").unwrap();
+        let g = b.add_gate("G", GateKind::Nand, vec![a, q]).unwrap();
+        b.connect_dff(q, g).unwrap();
+        b.add_output(g);
+        let n = b.finish().unwrap();
+        let dot = to_dot(&n);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=triangle"));
+        assert!(dot.contains("DFF"));
+        assert!(dot.contains("NAND"));
+        assert!(dot.contains("peripheries=2"), "PO must be double-bordered");
+        assert!(dot.contains("style=dashed"), "feedback edge must be dashed");
+        // Edge count: G has 2 fanins, Q has 1.
+        assert_eq!(dot.matches("->").count(), 3);
+    }
+
+    #[test]
+    fn s27_renders() {
+        let n = motsim_circuits_free_s27();
+        let dot = to_dot(&n);
+        assert!(dot.matches("->").count() >= n.num_gates());
+    }
+
+    // Local copy to avoid a dev-dependency cycle with motsim-circuits.
+    fn motsim_circuits_free_s27() -> Netlist {
+        crate::parse::parse_bench(
+            "s27",
+            "INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\nOUTPUT(G17)\n\
+             G5 = DFF(G10)\nG6 = DFF(G11)\nG7 = DFF(G13)\nG14 = NOT(G0)\n\
+             G17 = NOT(G11)\nG8 = AND(G14, G6)\nG15 = OR(G12, G8)\n\
+             G16 = OR(G3, G8)\nG9 = NAND(G16, G15)\nG10 = NOR(G14, G11)\n\
+             G11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\nG13 = NOR(G2, G12)\n",
+        )
+        .unwrap()
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type of the netlist crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal name was declared twice.
+    DuplicateName(String),
+    /// A referenced signal was never defined.
+    UndefinedSignal(String),
+    /// A flip-flop was left without a D connection.
+    UnconnectedDff(String),
+    /// The D pin of a flip-flop was connected twice.
+    DffAlreadyConnected(String),
+    /// `connect_dff` was called on a non-flip-flop net.
+    NotADff(String),
+    /// A gate was declared with an arity its kind does not support.
+    BadArity {
+        /// The offending gate's name.
+        gate: String,
+        /// The gate kind.
+        kind: crate::GateKind,
+        /// The number of fanins given.
+        arity: usize,
+    },
+    /// The combinational part contains a cycle through the named signal.
+    CombinationalCycle(String),
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The netlist has no primary outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            NetlistError::UndefinedSignal(n) => write!(f, "undefined signal `{n}`"),
+            NetlistError::UnconnectedDff(n) => {
+                write!(f, "flip-flop `{n}` has no D connection")
+            }
+            NetlistError::DffAlreadyConnected(n) => {
+                write!(f, "flip-flop `{n}` already has a D connection")
+            }
+            NetlistError::NotADff(n) => write!(f, "signal `{n}` is not a flip-flop"),
+            NetlistError::BadArity { gate, kind, arity } => {
+                write!(f, "gate `{gate}` of kind {kind} cannot take {arity} inputs")
+            }
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through signal `{n}`")
+            }
+            NetlistError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            NetlistError::DuplicateName("a".into()),
+            NetlistError::UndefinedSignal("a".into()),
+            NetlistError::UnconnectedDff("a".into()),
+            NetlistError::DffAlreadyConnected("a".into()),
+            NetlistError::NotADff("a".into()),
+            NetlistError::BadArity {
+                gate: "g".into(),
+                kind: crate::GateKind::Not,
+                arity: 3,
+            },
+            NetlistError::CombinationalCycle("a".into()),
+            NetlistError::Parse {
+                line: 7,
+                msg: "bad".into(),
+            },
+            NetlistError::NoOutputs,
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! ISCAS-89 `.bench` format parser.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G11 = NOT(G5)
+//! G13 = NAND(G2, G12)
+//! ```
+//!
+//! Signals may be referenced before they are defined (the format allows
+//! arbitrary ordering), so parsing is two-pass: declarations first, then
+//! connections.
+
+use std::collections::HashMap;
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::model::{GateKind, NetId, Netlist};
+
+/// Parses circuit `name` from `.bench` source text.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines, plus any of the
+/// builder validation errors ([`NetlistError::UndefinedSignal`],
+/// [`NetlistError::CombinationalCycle`], …).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), motsim_netlist::NetlistError> {
+/// let src = "
+/// INPUT(A)
+/// OUTPUT(Z)
+/// Q = DFF(Z)
+/// Z = NAND(A, Q)
+/// ";
+/// let n = motsim_netlist::parse::parse_bench("demo", src)?;
+/// assert_eq!(n.num_dffs(), 1);
+/// assert_eq!(n.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(name: &str, src: &str) -> Result<Netlist, NetlistError> {
+    enum Decl {
+        Input,
+        Def { kind: Kind, args: Vec<String> },
+    }
+    enum Kind {
+        Dff,
+        Gate(GateKind),
+    }
+
+    let mut decls: Vec<(usize, String, Decl)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parse_call = |s: &str| -> Result<(String, Vec<String>), NetlistError> {
+            let open = s.find('(').ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                msg: format!("expected `(` in `{s}`"),
+            })?;
+            let close = s.rfind(')').ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                msg: format!("expected `)` in `{s}`"),
+            })?;
+            if close < open {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    msg: format!("mismatched parentheses in `{s}`"),
+                });
+            }
+            let head = s[..open].trim().to_owned();
+            let args: Vec<String> = s[open + 1..close]
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+            Ok((head, args))
+        };
+
+        if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim().to_owned();
+            if target.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    msg: "missing signal name before `=`".into(),
+                });
+            }
+            let (head, args) = parse_call(line[eq + 1..].trim())?;
+            let kind = match head.to_ascii_uppercase().as_str() {
+                "DFF" => Kind::Dff,
+                "AND" => Kind::Gate(GateKind::And),
+                "NAND" => Kind::Gate(GateKind::Nand),
+                "OR" => Kind::Gate(GateKind::Or),
+                "NOR" => Kind::Gate(GateKind::Nor),
+                "XOR" => Kind::Gate(GateKind::Xor),
+                "XNOR" => Kind::Gate(GateKind::Xnor),
+                "NOT" => Kind::Gate(GateKind::Not),
+                "BUF" | "BUFF" => Kind::Gate(GateKind::Buf),
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: lineno,
+                        msg: format!("unknown gate type `{other}`"),
+                    })
+                }
+            };
+            if matches!(kind, Kind::Dff) && args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    msg: format!("DFF takes exactly one input, got {}", args.len()),
+                });
+            }
+            decls.push((lineno, target, Decl::Def { kind, args }));
+        } else {
+            let (head, args) = parse_call(line)?;
+            match head.to_ascii_uppercase().as_str() {
+                "INPUT" => {
+                    for a in args {
+                        decls.push((lineno, a, Decl::Input));
+                    }
+                }
+                "OUTPUT" => {
+                    for a in args {
+                        outputs.push((lineno, a));
+                    }
+                }
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: lineno,
+                        msg: format!("unknown directive `{other}`"),
+                    })
+                }
+            }
+        }
+    }
+
+    // Pass 1: declare every signal so forward references resolve.
+    let mut b = NetlistBuilder::new(name);
+    let mut ids: HashMap<String, NetId> = HashMap::new();
+    // Gates need their fanin ids at add time, so declare inputs and DFFs
+    // first, then gates in an order where fanins... gates may reference other
+    // gates declared later. We instead pre-intern gates with a placeholder
+    // strategy: two passes over gate declarations using a worklist.
+    for (_, name, d) in &decls {
+        if matches!(d, Decl::Input) {
+            let id = b.add_input(name)?;
+            ids.insert(name.clone(), id);
+        }
+    }
+    for (_, name, d) in &decls {
+        if matches!(
+            d,
+            Decl::Def {
+                kind: Kind::Dff,
+                ..
+            }
+        ) {
+            let id = b.add_dff(name)?;
+            ids.insert(name.clone(), id);
+        }
+    }
+    for (_, name, d) in &decls {
+        if let Decl::Def {
+            kind: Kind::Gate(g),
+            ..
+        } = d
+        {
+            let id = b.add_gate_placeholder(name, *g)?;
+            ids.insert(name.clone(), id);
+        }
+    }
+
+    // Pass 2: connect gate fanins, DFF D pins and outputs.
+    for (_, name, d) in &decls {
+        match d {
+            Decl::Def {
+                kind: Kind::Gate(_),
+                args,
+            } => {
+                let fanin: Vec<NetId> = args
+                    .iter()
+                    .map(|a| {
+                        ids.get(a.as_str())
+                            .copied()
+                            .ok_or_else(|| NetlistError::UndefinedSignal(a.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                b.connect_gate(ids[name.as_str()], fanin)?;
+            }
+            Decl::Def {
+                kind: Kind::Dff,
+                args,
+            } => {
+                let q = ids[name.as_str()];
+                let dnet = *ids
+                    .get(args[0].as_str())
+                    .ok_or_else(|| NetlistError::UndefinedSignal(args[0].clone()))?;
+                b.connect_dff(q, dnet)?;
+            }
+            Decl::Input => {}
+        }
+    }
+    for (_, name) in &outputs {
+        let id = *ids
+            .get(name.as_str())
+            .ok_or_else(|| NetlistError::UndefinedSignal(name.clone()))?;
+        b.add_output(id);
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "
+# tiny sequential circuit
+INPUT(A)
+INPUT(B)
+OUTPUT(Z)
+Q = DFF(D)
+N = NOT(A)
+D = NOR(N, Q)
+Z = NAND(B, Q)
+";
+
+    #[test]
+    fn parses_basic_circuit() {
+        let n = parse_bench("t", S27_LIKE).unwrap();
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_dffs(), 1);
+        assert_eq!(n.num_gates(), 3);
+        let q = n.find("Q").unwrap();
+        let d = n.find("D").unwrap();
+        assert_eq!(n.dff_d(q), d);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "
+INPUT(A)
+OUTPUT(Y)
+Y = NOT(X)
+X = BUFF(A)
+";
+        let n = parse_bench("t", src).unwrap();
+        assert_eq!(n.num_gates(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+# header comment
+
+INPUT(A)   # trailing comment
+OUTPUT(A)
+";
+        let n = parse_bench("t", src).unwrap();
+        assert_eq!(n.num_inputs(), 1);
+    }
+
+    #[test]
+    fn unknown_gate_type_errors() {
+        let src = "INPUT(A)\nOUTPUT(Y)\nY = FROB(A)\n";
+        let err = parse_bench("t", src).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn undefined_signal_errors() {
+        let src = "INPUT(A)\nOUTPUT(Y)\nY = AND(A, GHOST)\n";
+        assert_eq!(
+            parse_bench("t", src).unwrap_err(),
+            NetlistError::UndefinedSignal("GHOST".into())
+        );
+    }
+
+    #[test]
+    fn undefined_output_errors() {
+        let src = "INPUT(A)\nOUTPUT(GHOST)\n";
+        assert_eq!(
+            parse_bench("t", src).unwrap_err(),
+            NetlistError::UndefinedSignal("GHOST".into())
+        );
+    }
+
+    #[test]
+    fn dff_arity_checked() {
+        let src = "INPUT(A)\nINPUT(B)\nOUTPUT(Q)\nQ = DFF(A, B)\n";
+        assert!(matches!(
+            parse_bench("t", src).unwrap_err(),
+            NetlistError::Parse { line: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_paren_errors() {
+        let src = "INPUT A\n";
+        assert!(matches!(
+            parse_bench("t", src).unwrap_err(),
+            NetlistError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_directive_errors() {
+        let src = "WIBBLE(A)\n";
+        assert!(matches!(
+            parse_bench("t", src).unwrap_err(),
+            NetlistError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_target_errors() {
+        let src = " = AND(A, B)\n";
+        assert!(matches!(
+            parse_bench("t", src).unwrap_err(),
+            NetlistError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let src = "
+INPUT(A)
+OUTPUT(X)
+X = AND(A, Y)
+Y = NOT(X)
+";
+        assert!(matches!(
+            parse_bench("t", src).unwrap_err(),
+            NetlistError::CombinationalCycle(_)
+        ));
+    }
+
+    #[test]
+    fn buf_alias() {
+        let src = "INPUT(A)\nOUTPUT(Y)\nY = BUF(A)\n";
+        let n = parse_bench("t", src).unwrap();
+        assert_eq!(n.num_gates(), 1);
+    }
+}

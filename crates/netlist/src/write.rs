@@ -1,0 +1,118 @@
+//! ISCAS-89 `.bench` format writer.
+
+use std::fmt::Write as _;
+
+use crate::model::{Netlist, NodeKind};
+
+/// Renders `netlist` back to `.bench` source text.
+///
+/// The output parses back ([`crate::parse::parse_bench`]) to a structurally
+/// identical circuit (same counts, names, connectivity and I/O order), which
+/// the round-trip tests rely on.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), motsim_netlist::NetlistError> {
+/// let src = "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n";
+/// let n = motsim_netlist::parse::parse_bench("t", src)?;
+/// let again = motsim_netlist::parse::parse_bench("t", &motsim_netlist::write::to_bench(&n))?;
+/// assert_eq!(again.num_gates(), n.num_gates());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} flip-flops, {} gates",
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_dffs(),
+        netlist.num_gates()
+    );
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.net(i).name());
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.net(o).name());
+    }
+    for id in netlist.net_ids() {
+        let net = netlist.net(id);
+        match net.kind() {
+            NodeKind::Input(_) => {}
+            NodeKind::Dff(_) => {
+                let _ = writeln!(
+                    out,
+                    "{} = DFF({})",
+                    net.name(),
+                    netlist.net(net.fanin()[0]).name()
+                );
+            }
+            NodeKind::Gate(kind) => {
+                let args: Vec<&str> = net.fanin().iter().map(|&f| netlist.net(f).name()).collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    net.name(),
+                    kind.bench_name(),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bench;
+
+    const SRC: &str = "
+INPUT(A)
+INPUT(B)
+OUTPUT(Z)
+OUTPUT(Q)
+Q = DFF(D)
+N = NOT(A)
+D = NOR(N, Q)
+Z = NAND(B, Q, N)
+";
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n1 = parse_bench("t", SRC).unwrap();
+        let text = to_bench(&n1);
+        let n2 = parse_bench("t", &text).unwrap();
+        assert_eq!(n1.num_inputs(), n2.num_inputs());
+        assert_eq!(n1.num_outputs(), n2.num_outputs());
+        assert_eq!(n1.num_dffs(), n2.num_dffs());
+        assert_eq!(n1.num_gates(), n2.num_gates());
+        // I/O order preserved by name.
+        for (a, b) in n1.inputs().iter().zip(n2.inputs()) {
+            assert_eq!(n1.net(*a).name(), n2.net(*b).name());
+        }
+        for (a, b) in n1.outputs().iter().zip(n2.outputs()) {
+            assert_eq!(n1.net(*a).name(), n2.net(*b).name());
+        }
+        // Connectivity preserved: same fanin names per net name.
+        for id in n1.net_ids() {
+            let net1 = n1.net(id);
+            let id2 = n2.find(net1.name()).unwrap();
+            let net2 = n2.net(id2);
+            assert_eq!(net1.kind(), net2.kind());
+            let f1: Vec<&str> = net1.fanin().iter().map(|&f| n1.net(f).name()).collect();
+            let f2: Vec<&str> = net2.fanin().iter().map(|&f| n2.net(f).name()).collect();
+            assert_eq!(f1, f2);
+        }
+    }
+
+    #[test]
+    fn header_contains_counts() {
+        let n = parse_bench("t", SRC).unwrap();
+        let text = to_bench(&n);
+        assert!(text.contains("# 2 inputs, 2 outputs, 1 flip-flops, 3 gates"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests of the netlist substrate: arbitrary well-formed builder
+//! programs produce valid, round-trippable netlists.
+
+use motsim_netlist::analysis::{fanin_cone, fanout_cone, FfrMap};
+use motsim_netlist::builder::NetlistBuilder;
+use motsim_netlist::parse::parse_bench;
+use motsim_netlist::write::to_bench;
+use motsim_netlist::{GateKind, NetId, Netlist};
+use proptest::prelude::*;
+
+/// A recipe for one random, always-valid circuit.
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    dffs: usize,
+    gates: Vec<(u8, Vec<usize>)>, // (kind tag, fanin picks modulo pool)
+    outputs: Vec<usize>,
+    dff_ds: Vec<usize>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        1usize..5,
+        0usize..4,
+        prop::collection::vec((0u8..8, prop::collection::vec(0usize..64, 1..4)), 1..20),
+        prop::collection::vec(0usize..64, 1..4),
+        prop::collection::vec(0usize..64, 0..4),
+    )
+        .prop_map(|(inputs, dffs, gates, outputs, dff_ds)| Recipe {
+            inputs,
+            dffs,
+            gates,
+            outputs,
+            dff_ds,
+        })
+}
+
+fn build(r: &Recipe) -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    let mut pool: Vec<NetId> = Vec::new();
+    for i in 0..r.inputs {
+        pool.push(b.add_input(&format!("I{i}")).unwrap());
+    }
+    let mut qs = Vec::new();
+    for i in 0..r.dffs {
+        let q = b.add_dff(&format!("Q{i}")).unwrap();
+        qs.push(q);
+        pool.push(q);
+    }
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut gates = Vec::new();
+    for (i, (tag, picks)) in r.gates.iter().enumerate() {
+        let kind = kinds[*tag as usize % kinds.len()];
+        let fanin: Vec<NetId> = if kind.is_unary() {
+            vec![pool[picks[0] % pool.len()]]
+        } else {
+            picks.iter().map(|&p| pool[p % pool.len()]).collect()
+        };
+        let g = b.add_gate(&format!("G{i}"), kind, fanin).unwrap();
+        pool.push(g);
+        gates.push(g);
+    }
+    for (i, &q) in qs.iter().enumerate() {
+        let d = r.dff_ds.get(i).copied().unwrap_or(i);
+        b.connect_dff(q, pool[d % pool.len()]).unwrap();
+    }
+    for &o in &r.outputs {
+        b.add_output(pool[o % pool.len()]);
+    }
+    b.finish()
+        .expect("recipe circuits are acyclic by construction")
+}
+
+proptest! {
+    /// Eval order is topological and complete.
+    #[test]
+    fn levelization_is_topological(r in arb_recipe()) {
+        let n = build(&r);
+        let mut seen = vec![false; n.num_nets()];
+        for id in n.inputs().iter().chain(n.dffs()) {
+            seen[id.index()] = true;
+        }
+        for &g in n.eval_order() {
+            for &f in n.net(g).fanin() {
+                prop_assert!(seen[f.index()], "fanin evaluated after gate");
+            }
+            seen[g.index()] = true;
+        }
+        prop_assert!(n.net_ids().all(|i| seen[i.index()]));
+        for &g in n.eval_order() {
+            for &f in n.net(g).fanin() {
+                prop_assert!(n.level(f) < n.level(g));
+            }
+        }
+    }
+
+    /// Writer → parser round-trip preserves everything observable.
+    #[test]
+    fn round_trip(r in arb_recipe()) {
+        let n = build(&r);
+        let text = to_bench(&n);
+        let m = parse_bench("prop", &text).unwrap();
+        prop_assert_eq!(n.num_nets(), m.num_nets());
+        prop_assert_eq!(n.num_gates(), m.num_gates());
+        for id in n.net_ids() {
+            let a = n.net(id);
+            let bid = m.find(a.name()).unwrap();
+            let b = m.net(bid);
+            prop_assert_eq!(a.kind(), b.kind());
+            let fa: Vec<&str> = a.fanin().iter().map(|&f| n.net(f).name()).collect();
+            let fb: Vec<&str> = b.fanin().iter().map(|&f| m.net(f).name()).collect();
+            prop_assert_eq!(fa, fb);
+        }
+    }
+
+    /// Fanout tables are the exact inverse of fanin tables.
+    #[test]
+    fn fanout_inverts_fanin(r in arb_recipe()) {
+        let n = build(&r);
+        for id in n.net_ids() {
+            for &(sink, pin) in n.fanout(id) {
+                prop_assert_eq!(n.net(sink).fanin()[pin as usize], id);
+            }
+            let count: usize = n
+                .net_ids()
+                .map(|s| n.net(s).fanin().iter().filter(|&&f| f == id).count())
+                .sum();
+            prop_assert_eq!(n.fanout(id).len(), count);
+        }
+    }
+
+    /// Every net's FFR head is a stem reachable through single-fanout
+    /// links, and stems head themselves.
+    #[test]
+    fn ffr_heads_are_stems(r in arb_recipe()) {
+        let n = build(&r);
+        let ffr = FfrMap::new(&n);
+        for id in n.net_ids() {
+            let head = ffr.head(id);
+            prop_assert!(n.is_stem(head));
+            if n.is_stem(id) {
+                prop_assert_eq!(head, id);
+            }
+        }
+    }
+
+    /// Cones are closed and mutually consistent: `a ∈ fanin_cone(b)` iff
+    /// `b ∈ fanout_cone(a)`.
+    #[test]
+    fn cones_are_consistent(r in arb_recipe()) {
+        let n = build(&r);
+        // Check on a few nets to bound the cost.
+        let ids: Vec<NetId> = n.net_ids().collect();
+        for &a in ids.iter().take(5) {
+            let fo = fanout_cone(&n, a);
+            for &b in fo.iter().take(10) {
+                let fi = fanin_cone(&n, b);
+                prop_assert!(fi.contains(&a), "{a} -> {b} not inverted");
+            }
+        }
+    }
+
+    /// Lead enumeration: one stem per net; branches exactly on nets with
+    /// fanout ≥ 2, one per sink pin.
+    #[test]
+    fn leads_are_exact(r in arb_recipe()) {
+        let n = build(&r);
+        let leads = n.leads();
+        let stems = leads.iter().filter(|l| l.is_stem()).count();
+        prop_assert_eq!(stems, n.num_nets());
+        for id in n.net_ids() {
+            let fo = n.fanout(id);
+            let branches = leads
+                .iter()
+                .filter(|l| !l.is_stem() && l.net == id)
+                .count();
+            prop_assert_eq!(branches, if fo.len() >= 2 { fo.len() } else { 0 });
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The paper's headline scenario: a partially-clearable counter
+//! (the s208.1 family) where SOT provably detects nothing, rMOT a little,
+//! and full MOT substantially more.
+//!
+//! The upper counter bits never synchronize, so the fault-free output is
+//! rarely a constant — killing SOT (Definition 2) and starving rMOT of
+//! admissible terms. The MOT detection function `D(x,y)` still collapses to
+//! 0 for many faults because the *sets* of fault-free and faulty responses
+//! are disjoint.
+//!
+//! Run with: `cargo run --release --example counter_mot`
+
+use motsim::faults::FaultList;
+use motsim::hybrid::{hybrid_run, HybridConfig};
+use motsim::pattern::TestSequence;
+use motsim::sim3::FaultSim3;
+use motsim::symbolic::Strategy;
+use motsim::xred::XRedAnalysis;
+use motsim_circuits::generators::partial_counter;
+
+fn main() {
+    let circuit = partial_counter(8, 6);
+    let faults = FaultList::collapsed(&circuit);
+    let seq = TestSequence::random(&circuit, 200, 0xDAC95);
+
+    // The three-valued flow: ID_X-red first, then X01 simulation.
+    let analysis = XRedAnalysis::analyze(&circuit, &seq);
+    let (x_red, rest) = analysis.partition(faults.iter().cloned());
+    let three = FaultSim3::run(&circuit, &seq, rest.iter().cloned());
+    println!(
+        "{}: |F| = {}, X-redundant = {}, three-valued detects {}",
+        circuit.name(),
+        faults.len(),
+        x_red.len(),
+        three.num_detected()
+    );
+
+    // The hard faults: everything the three-valued flow left open.
+    let hard: Vec<_> = three
+        .undetected_faults()
+        .chain(x_red.iter().copied())
+        .collect();
+    println!(
+        "symbolic strategies on the {} remaining faults:",
+        hard.len()
+    );
+    for strategy in Strategy::ALL {
+        let outcome = hybrid_run(
+            &circuit,
+            strategy,
+            &seq,
+            hard.iter().cloned(),
+            HybridConfig::default(),
+        );
+        println!(
+            "  {strategy:>4}: {:>3} additional faults detected{}",
+            outcome.num_detected(),
+            if outcome.is_approximate() { " (*)" } else { "" }
+        );
+    }
+
+    // Show one MOT-only fault with its witness pair of initial states.
+    let mot = hybrid_run(
+        &circuit,
+        Strategy::Mot,
+        &seq,
+        hard.iter().cloned(),
+        HybridConfig::default(),
+    );
+    let rmot = hybrid_run(
+        &circuit,
+        Strategy::Rmot,
+        &seq,
+        hard.iter().cloned(),
+        HybridConfig::default(),
+    );
+    let rmot_detected: std::collections::HashSet<_> = rmot.detected_faults().collect();
+    let mot_detected: Vec<_> = mot.detected_faults().collect();
+    if let Some(f) = mot_detected.iter().find(|f| !rmot_detected.contains(f)) {
+        println!(
+            "example MOT-only fault: {} — detectable although no single \
+             observation time works for all initial states",
+            f.display(&circuit)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Fault diagnosis with a pass/fail dictionary: build the dictionary for a
+//! test sequence, "manufacture" a defective device, observe its failures
+//! on the tester, and narrow the defect down to a candidate list.
+//!
+//! Run with: `cargo run --release --example diagnosis`
+
+use std::collections::BTreeSet;
+
+use motsim::dictionary::FaultDictionary;
+use motsim::faults::FaultList;
+use motsim::pattern::TestSequence;
+use motsim_circuits::generators::{fsm, FsmParams};
+
+fn main() {
+    let circuit = fsm(
+        "dut",
+        2024,
+        FsmParams {
+            state_bits: 6,
+            inputs: 4,
+            outputs: 4,
+            terms: 3,
+            literals: 3,
+            reset: true,
+            sync_bits: 2,
+        },
+    );
+    let faults = FaultList::collapsed(&circuit);
+    let seq = TestSequence::random(&circuit, 150, 42);
+
+    let dict = FaultDictionary::build(&circuit, &seq, faults.iter().cloned());
+    println!(
+        "dictionary: {} faults x {} frames, {} detectable",
+        dict.len(),
+        dict.frames(),
+        dict.detectable().count()
+    );
+    let classes = dict.equivalence_classes();
+    println!(
+        "test-set resolution: {} indistinguishable group(s), largest {}",
+        classes.len(),
+        classes.first().map(|c| c.len()).unwrap_or(0)
+    );
+
+    // The "defective device": pick a detectable fault and pretend its
+    // guaranteed failures are what the tester logged.
+    let culprit = dict.detectable().nth(3).expect("detectable fault");
+    let observed: BTreeSet<_> = dict.signature(culprit).unwrap().clone();
+    println!(
+        "\ntester log for the defective device: {} failing observation(s)",
+        observed.len()
+    );
+    if let Some(&(frame, output)) = observed.iter().next() {
+        println!("  first failure: frame {frame}, output {output}");
+    }
+
+    let candidates = dict.diagnose(&observed);
+    println!("diagnosis: {} candidate fault site(s):", candidates.len());
+    for c in &candidates {
+        let marker = if *c == culprit {
+            "  <-- actual defect"
+        } else {
+            ""
+        };
+        println!("  {}{}", c.display(&circuit), marker);
+    }
+    assert!(candidates.contains(&culprit));
+}

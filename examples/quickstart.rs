@@ -1,0 +1,51 @@
+//! Quickstart: fault-simulate the classic `s27` circuit under all three
+//! observation-time strategies and compare the coverages.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use motsim::faults::FaultList;
+use motsim::pattern::TestSequence;
+use motsim::sim3::FaultSim3;
+use motsim::symbolic::{Strategy, SymbolicFaultSim};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A circuit: the embedded ISCAS-89 s27 (or parse your own .bench
+    //    file with motsim_netlist::parse::parse_bench).
+    let circuit = motsim_circuits::s27();
+    println!(
+        "circuit {}: {} inputs, {} outputs, {} flip-flops, {} gates",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_dffs(),
+        circuit.num_gates()
+    );
+
+    // 2. The collapsed single-stuck-at fault list.
+    let faults = FaultList::collapsed(&circuit);
+    println!(
+        "faults: {} collapsed (from {} complete)",
+        faults.len(),
+        faults.complete_len()
+    );
+
+    // 3. A test sequence: 100 random vectors (the unknown initial state is
+    //    what makes this interesting — no reset is ever applied).
+    let seq = TestSequence::random(&circuit, 100, 0xDAC95);
+
+    // 4. The classical three-valued fault simulation: a lower bound.
+    let three = FaultSim3::run(&circuit, &seq, faults.iter().cloned());
+    println!("three-valued (X01): {three}");
+
+    // 5. Symbolic simulation under SOT, rMOT and MOT: increasingly accurate.
+    for strategy in Strategy::ALL {
+        let outcome =
+            SymbolicFaultSim::new(&circuit, strategy).run(&seq, faults.iter().cloned())?;
+        println!(
+            "{strategy:>4}: {} ({:.1}% coverage)",
+            outcome,
+            outcome.coverage_percent()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Synchronizing sequences and the pessimism of three-valued logic.
+//!
+//! \[11\] (cited in the paper's introduction) exhibits circuit classes that
+//! *are* synchronizable but for which any X-based algorithm must fail.
+//! This example builds such a circuit, shows the three-valued simulator
+//! stuck at full unknowness, and then synchronizes it symbolically.
+//!
+//! Run with: `cargo run --release --example synchronize`
+
+use motsim::pattern::TestSequence;
+use motsim::synch::{self, SynchConfig};
+use motsim_netlist::builder::NetlistBuilder;
+use motsim_netlist::GateKind;
+
+fn main() {
+    // Q' = (A AND Q) XOR (A AND NOT Q) = A when A=1... more precisely:
+    //   Q' = XOR(AND(A, Q), AND(A, NOT Q))
+    // For A=1 this is XOR(Q, NOT Q) = 1 — a constant! — but the
+    // three-valued simulator computes XOR(X, X) = X and never learns it.
+    let mut b = NetlistBuilder::new("miczo");
+    let a = b.add_input("A").unwrap();
+    let q = b.add_dff("Q").unwrap();
+    let nq = b.add_gate("NQ", GateKind::Not, vec![q]).unwrap();
+    let t1 = b.add_gate("T1", GateKind::And, vec![a, q]).unwrap();
+    let t2 = b.add_gate("T2", GateKind::And, vec![a, nq]).unwrap();
+    let d = b.add_gate("D", GateKind::Xor, vec![t1, t2]).unwrap();
+    b.connect_dff(q, d).unwrap();
+    let z = b.add_gate("Z", GateKind::Buf, vec![q]).unwrap();
+    b.add_output(z);
+    let circuit = b.finish().unwrap();
+
+    // Profile a constant-1 input sequence.
+    let seq = TestSequence::new(1, vec![vec![true]; 4]);
+    let p = synch::profile(&circuit, &seq);
+    println!("applying A=1 for {} frames:", seq.len());
+    println!(
+        "  three-valued known state bits per frame: {:?}",
+        p.known_v3
+    );
+    println!(
+        "  symbolically constant bits per frame:    {:?}",
+        p.known_symbolic
+    );
+    println!(
+        "  pessimism gap: {} bit(s) — the circuit synchronizes at frame {:?}, \
+         but three-valued logic never sees it",
+        p.max_pessimism_gap(),
+        p.sync_frame()
+    );
+    assert!(p.synchronizes());
+    assert!(!p.synchronizes_v3());
+
+    // The search finds such a sequence on its own.
+    let found = synch::find_synchronizing_sequence(&circuit, SynchConfig::default())
+        .expect("circuit is synchronizable");
+    println!(
+        "\nsearch found a synchronizing sequence of length {}:",
+        found.len()
+    );
+    print!("{found}");
+
+    // The same effect on a suite-scale circuit: the shift register
+    // synchronizes for both logics, the counter only when cleared.
+    let shreg = motsim_circuits::generators::shift_register(16);
+    let p = synch::profile(&shreg, &TestSequence::new(1, vec![vec![false]; 20]));
+    println!(
+        "\nshift16: synchronized at frame {:?} (V3 agrees: {})",
+        p.sync_frame(),
+        p.synchronizes_v3()
+    );
+}

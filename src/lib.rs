@@ -1,0 +1,20 @@
+//! Workspace root crate for the motsim reproduction.
+//!
+//! This crate carries the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and the cross-crate integration tests of the workspace. The actual library
+//! surface lives in the member crates:
+//!
+//! - [`motsim_netlist`] — gate-level synchronous circuit model and `.bench` I/O,
+//! - [`motsim_logic`] — three- and four-valued logic,
+//! - [`motsim_bdd`] — the OBDD package,
+//! - [`motsim_circuits`] — the benchmark circuit suite,
+//! - [`motsim`] — fault model, three-valued / symbolic / hybrid fault simulation,
+//!   `ID_X-red`, test-sequence generation and symbolic test evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use motsim;
+pub use motsim_bdd;
+pub use motsim_circuits;
+pub use motsim_logic;
+pub use motsim_netlist;

@@ -1,0 +1,107 @@
+//! The paper's Figures 1–3 as golden tests: tiny circuits where the SOT
+//! strategy provably fails and the MOT (or rMOT) strategy succeeds.
+
+use motsim::exhaustive;
+use motsim::symbolic::{Strategy, SymbolicFaultSim};
+use motsim::{Fault, TestSequence};
+use motsim_netlist::builder::NetlistBuilder;
+use motsim_netlist::{GateKind, Lead, Netlist};
+
+fn run(netlist: &Netlist, strategy: Strategy, fault: Fault, seq: &TestSequence) -> bool {
+    SymbolicFaultSim::new(netlist, strategy)
+        .run(seq, [fault])
+        .expect("no node limit")
+        .num_detected()
+        == 1
+}
+
+/// Fig. 1: both machines uninitialized; no single observation time works,
+/// but the response sets are disjoint.
+#[test]
+fn fig1_sot_fails_mot_succeeds() {
+    let mut b = NetlistBuilder::new("fig1");
+    let a = b.add_input("A").unwrap();
+    let c = b.add_input("B").unwrap();
+    let q = b.add_dff("Q").unwrap();
+    let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+    b.connect_dff(q, keep).unwrap();
+    let x = b.add_gate("XR", GateKind::Xor, vec![a, q]).unwrap();
+    let o = b.add_gate("O", GateKind::Xor, vec![x, c]).unwrap();
+    b.add_output(o);
+    let n = b.finish().unwrap();
+    let fault = Fault::stuck_at_0(Lead::stem(n.find("A").unwrap()));
+    let seq = TestSequence::new(2, vec![vec![true, false], vec![false, false]]);
+
+    assert!(!run(&n, Strategy::Sot, fault, &seq));
+    assert!(!run(&n, Strategy::Rmot, fault, &seq));
+    assert!(run(&n, Strategy::Mot, fault, &seq));
+
+    // Cross-check against brute-force enumeration (Definition 2 / 3).
+    let v = exhaustive::verdict(&n, &seq, fault);
+    assert!(!v.sot && !v.rmot && v.mot);
+}
+
+/// Fig. 2: the sequence initializes the fault-free machine but not the
+/// faulty one — undetectable per Definition 2 despite initialization.
+#[test]
+fn fig2_initialization_is_not_enough_for_sot() {
+    let n = motsim_circuits::generators::counter(3);
+    let fault = Fault::stuck_at_1(Lead::stem(n.find("NCLR").unwrap()));
+    // Clear, count 4, clear, count 8.
+    let mut vectors = vec![vec![false, true]];
+    vectors.extend(std::iter::repeat_n(vec![true, false], 4));
+    vectors.push(vec![false, true]);
+    vectors.extend(std::iter::repeat_n(vec![true, false], 8));
+    let seq = TestSequence::new(2, vectors);
+
+    // The fault-free machine is fully synchronized after the first clear…
+    let mut tv = motsim::sim3::TrueSim::new(&n);
+    tv.step(seq.vector(0));
+    assert!(
+        tv.state().iter().all(|v| v.is_known()),
+        "clear synchronizes"
+    );
+
+    // …yet SOT cannot detect the clear-path fault; rMOT and MOT can.
+    assert!(!run(&n, Strategy::Sot, fault, &seq));
+    assert!(run(&n, Strategy::Rmot, fault, &seq));
+    assert!(run(&n, Strategy::Mot, fault, &seq));
+
+    let v = exhaustive::verdict(&n, &seq, fault);
+    assert!(!v.sot && v.rmot && v.mot);
+}
+
+/// Fig. 3: the worked example — fault-free outputs (x, x̄), faulty (ȳ, ȳ),
+/// detection function D(x,y) = [x ≡ ȳ]·[x ≡ y] ≡ 0.
+#[test]
+fn fig3_detection_function_collapses() {
+    let mut b = NetlistBuilder::new("fig3");
+    let a = b.add_input("A").unwrap();
+    let q = b.add_dff("Q").unwrap();
+    let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+    b.connect_dff(q, keep).unwrap();
+    let o = b.add_gate("O", GateKind::Xnor, vec![a, q]).unwrap();
+    b.add_output(o);
+    let n = b.finish().unwrap();
+    let fault = Fault::stuck_at_0(Lead::stem(n.find("A").unwrap()));
+    let seq = TestSequence::new(1, vec![vec![true], vec![false]]);
+
+    assert!(!run(&n, Strategy::Sot, fault, &seq));
+    assert!(!run(&n, Strategy::Rmot, fault, &seq));
+    assert!(run(&n, Strategy::Mot, fault, &seq));
+
+    // Verify the algebra directly with the BDD package: build
+    // D = [x ≡ ȳ]·[x ≡ y] and check it is the constant 0.
+    let mgr = motsim_bdd::BddManager::new();
+    let x = mgr.new_var();
+    let y = mgr.new_var();
+    let t1 = x.equiv(&y.not().unwrap()).unwrap();
+    let t2 = x.equiv(&y).unwrap();
+    let d = t1.and(&t2).unwrap();
+    assert!(d.is_false(), "D(x,y) must be identically 0");
+
+    // And with one frame only, D = [x ≡ ȳ] ≠ 0: not detectable (Lemma 1).
+    let seq1 = TestSequence::new(1, vec![vec![true]]);
+    assert!(!run(&n, Strategy::Mot, fault, &seq1));
+    assert!(t1.any_sat().is_some());
+}
