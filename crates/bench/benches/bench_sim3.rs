@@ -1,60 +1,80 @@
 //! Ablation: event-driven single-fault propagation vs naive full
 //! re-simulation of every faulty machine (the design choice behind the
 //! three-valued simulator's speed).
+//!
+//! Offline build note: the `criterion` crate cannot be fetched in the
+//! offline image, so the bench body is gated behind the non-default
+//! `criterion-benches` feature (which additionally requires re-adding
+//! `criterion = "0.5"` to [dev-dependencies] with network access).
+//! Without the feature this target compiles to an empty `main`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use motsim::faults::{Fault, FaultList};
-use motsim::pattern::TestSequence;
-use motsim::sim3::{eval_frame, eval_frame_with_fault, next_state_with_fault, FaultSim3};
-use motsim_logic::V3;
-use motsim_netlist::Netlist;
+#[cfg(feature = "criterion-benches")]
+mod imp {
 
-/// Naive baseline: full per-fault re-simulation with forced values
-/// (the library's dense reference evaluation, applied to every fault and
-/// frame with no event-driven pruning and no fault dropping between
-/// frames beyond first detection).
-fn full_resim(netlist: &Netlist, seq: &TestSequence, faults: &[Fault]) -> usize {
-    let mut detected = 0usize;
-    let mut tvals = Vec::new();
-    let mut fvals = Vec::new();
-    for &fault in faults {
-        let mut tstate = vec![V3::X; netlist.num_dffs()];
-        let mut fstate = vec![V3::X; netlist.num_dffs()];
-        'frames: for v in seq {
-            eval_frame(netlist, &tstate, v, &mut tvals);
-            eval_frame_with_fault(netlist, &fstate, v, fault, &mut fvals);
-            for &o in netlist.outputs() {
-                let (tv, fv) = (tvals[o.index()], fvals[o.index()]);
-                if tv.is_known() && fv.is_known() && tv != fv {
-                    detected += 1;
-                    break 'frames;
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use motsim::faults::{Fault, FaultList};
+    use motsim::pattern::TestSequence;
+    use motsim::sim3::{eval_frame, eval_frame_with_fault, next_state_with_fault, FaultSim3};
+    use motsim_logic::V3;
+    use motsim_netlist::Netlist;
+
+    /// Naive baseline: full per-fault re-simulation with forced values
+    /// (the library's dense reference evaluation, applied to every fault and
+    /// frame with no event-driven pruning and no fault dropping between
+    /// frames beyond first detection).
+    fn full_resim(netlist: &Netlist, seq: &TestSequence, faults: &[Fault]) -> usize {
+        let mut detected = 0usize;
+        let mut tvals = Vec::new();
+        let mut fvals = Vec::new();
+        for &fault in faults {
+            let mut tstate = vec![V3::X; netlist.num_dffs()];
+            let mut fstate = vec![V3::X; netlist.num_dffs()];
+            'frames: for v in seq {
+                eval_frame(netlist, &tstate, v, &mut tvals);
+                eval_frame_with_fault(netlist, &fstate, v, fault, &mut fvals);
+                for &o in netlist.outputs() {
+                    let (tv, fv) = (tvals[o.index()], fvals[o.index()]);
+                    if tv.is_known() && fv.is_known() && tv != fv {
+                        detected += 1;
+                        break 'frames;
+                    }
                 }
+                for (i, &q) in netlist.dffs().iter().enumerate() {
+                    tstate[i] = tvals[netlist.dff_d(q).index()];
+                }
+                next_state_with_fault(netlist, &fvals, fault, &mut fstate);
             }
-            for (i, &q) in netlist.dffs().iter().enumerate() {
-                tstate[i] = tvals[netlist.dff_d(q).index()];
-            }
-            next_state_with_fault(netlist, &fvals, fault, &mut fstate);
         }
+        detected
     }
-    detected
+
+    fn bench_eventdriven(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sim3_eventdriven_vs_full");
+        g.sample_size(10);
+        for name in ["g208", "g298", "g641"] {
+            let netlist = motsim_circuits::suite::by_name(name).unwrap();
+            let faults: Vec<Fault> = FaultList::collapsed(&netlist).into_iter().collect();
+            let seq = TestSequence::random(&netlist, 100, 1);
+            g.bench_function(format!("event_driven/{name}"), |b| {
+                b.iter(|| FaultSim3::run(&netlist, &seq, faults.iter().cloned()).num_detected())
+            });
+            g.bench_function(format!("full_resim/{name}"), |b| {
+                b.iter(|| full_resim(&netlist, &seq, &faults))
+            });
+        }
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_eventdriven);
 }
 
-fn bench_eventdriven(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim3_eventdriven_vs_full");
-    g.sample_size(10);
-    for name in ["g208", "g298", "g641"] {
-        let netlist = motsim_circuits::suite::by_name(name).unwrap();
-        let faults: Vec<Fault> = FaultList::collapsed(&netlist).into_iter().collect();
-        let seq = TestSequence::random(&netlist, 100, 1);
-        g.bench_function(format!("event_driven/{name}"), |b| {
-            b.iter(|| FaultSim3::run(&netlist, &seq, faults.iter().cloned()).num_detected())
-        });
-        g.bench_function(format!("full_resim/{name}"), |b| {
-            b.iter(|| full_resim(&netlist, &seq, &faults))
-        });
-    }
-    g.finish();
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_eventdriven);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

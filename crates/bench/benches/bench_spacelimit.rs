@@ -1,41 +1,61 @@
 //! Ablation: the hybrid simulator's node-limit sweep — the accuracy/time
 //! trade-off behind the paper's s838.1 anomaly (a tighter limit forces
 //! more three-valued fallback, which is faster but less accurate).
+//!
+//! Offline build note: the `criterion` crate cannot be fetched in the
+//! offline image, so the bench body is gated behind the non-default
+//! `criterion-benches` feature (which additionally requires re-adding
+//! `criterion = "0.5"` to [dev-dependencies] with network access).
+//! Without the feature this target compiles to an empty `main`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use motsim::faults::{Fault, FaultList};
-use motsim::hybrid::{hybrid_run, HybridConfig};
-use motsim::pattern::TestSequence;
-use motsim::sim3::FaultSim3;
-use motsim::symbolic::Strategy;
+#[cfg(feature = "criterion-benches")]
+mod imp {
 
-fn bench_spacelimit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spacelimit");
-    g.sample_size(10);
-    let netlist = motsim_circuits::suite::by_name("g420").unwrap();
-    let faults = FaultList::collapsed(&netlist);
-    let seq = TestSequence::random(&netlist, 60, 1);
-    let three = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
-    let hard: Vec<Fault> = three.undetected_faults().collect();
-    for limit in [500usize, 2_000, 30_000] {
-        g.bench_function(format!("mot_limit_{limit}"), |b| {
-            b.iter(|| {
-                hybrid_run(
-                    &netlist,
-                    Strategy::Mot,
-                    &seq,
-                    hard.iter().cloned(),
-                    HybridConfig {
-                        node_limit: limit,
-                        fallback_frames: 8,
-                    },
-                )
-                .num_detected()
-            })
-        });
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use motsim::faults::{Fault, FaultList};
+    use motsim::hybrid::{hybrid_run, HybridConfig};
+    use motsim::pattern::TestSequence;
+    use motsim::sim3::FaultSim3;
+    use motsim::symbolic::Strategy;
+
+    fn bench_spacelimit(c: &mut Criterion) {
+        let mut g = c.benchmark_group("spacelimit");
+        g.sample_size(10);
+        let netlist = motsim_circuits::suite::by_name("g420").unwrap();
+        let faults = FaultList::collapsed(&netlist);
+        let seq = TestSequence::random(&netlist, 60, 1);
+        let three = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
+        let hard: Vec<Fault> = three.undetected_faults().collect();
+        for limit in [500usize, 2_000, 30_000] {
+            g.bench_function(format!("mot_limit_{limit}"), |b| {
+                b.iter(|| {
+                    hybrid_run(
+                        &netlist,
+                        Strategy::Mot,
+                        &seq,
+                        hard.iter().cloned(),
+                        HybridConfig {
+                            node_limit: limit,
+                            fallback_frames: 8,
+                        },
+                    )
+                    .num_detected()
+                })
+            });
+        }
+        g.finish();
     }
-    g.finish();
+
+    criterion_group!(benches, bench_spacelimit);
 }
 
-criterion_group!(benches, bench_spacelimit);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

@@ -1,39 +1,59 @@
 //! Tables II/III as benchmarks: the cost of SOT vs rMOT vs MOT symbolic
 //! fault simulation on the three-valued-undetected fault set.
+//!
+//! Offline build note: the `criterion` crate cannot be fetched in the
+//! offline image, so the bench body is gated behind the non-default
+//! `criterion-benches` feature (which additionally requires re-adding
+//! `criterion = "0.5"` to [dev-dependencies] with network access).
+//! Without the feature this target compiles to an empty `main`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use motsim::faults::{Fault, FaultList};
-use motsim::hybrid::{hybrid_run, HybridConfig};
-use motsim::pattern::TestSequence;
-use motsim::sim3::FaultSim3;
-use motsim::symbolic::Strategy;
+#[cfg(feature = "criterion-benches")]
+mod imp {
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("strategies");
-    g.sample_size(10);
-    for name in ["g27", "g208", "g298", "g420"] {
-        let netlist = motsim_circuits::suite::by_name(name).unwrap();
-        let faults = FaultList::collapsed(&netlist);
-        let seq = TestSequence::random(&netlist, 100, 1);
-        let three = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
-        let hard: Vec<Fault> = three.undetected_faults().collect();
-        for strategy in Strategy::ALL {
-            g.bench_function(format!("{strategy}/{name}"), |b| {
-                b.iter(|| {
-                    hybrid_run(
-                        &netlist,
-                        strategy,
-                        &seq,
-                        hard.iter().cloned(),
-                        HybridConfig::default(),
-                    )
-                    .num_detected()
-                })
-            });
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use motsim::faults::{Fault, FaultList};
+    use motsim::hybrid::{hybrid_run, HybridConfig};
+    use motsim::pattern::TestSequence;
+    use motsim::sim3::FaultSim3;
+    use motsim::symbolic::Strategy;
+
+    fn bench_strategies(c: &mut Criterion) {
+        let mut g = c.benchmark_group("strategies");
+        g.sample_size(10);
+        for name in ["g27", "g208", "g298", "g420"] {
+            let netlist = motsim_circuits::suite::by_name(name).unwrap();
+            let faults = FaultList::collapsed(&netlist);
+            let seq = TestSequence::random(&netlist, 100, 1);
+            let three = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
+            let hard: Vec<Fault> = three.undetected_faults().collect();
+            for strategy in Strategy::ALL {
+                g.bench_function(format!("{strategy}/{name}"), |b| {
+                    b.iter(|| {
+                        hybrid_run(
+                            &netlist,
+                            strategy,
+                            &seq,
+                            hard.iter().cloned(),
+                            HybridConfig::default(),
+                        )
+                        .num_detected()
+                    })
+                });
+            }
         }
+        g.finish();
     }
-    g.finish();
+
+    criterion_group!(benches, bench_strategies);
 }
 
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

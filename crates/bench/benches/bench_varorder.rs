@@ -10,88 +10,110 @@
 //! why `SymbolicFaultSim` interleaves. A secondary benchmark measures the
 //! `x → y` substitution itself (monotone rename in both cases, same cost;
 //! the win is in the product).
+//!
+//! Offline build note: the `criterion` crate cannot be fetched in the
+//! offline image, so the bench body is gated behind the non-default
+//! `criterion-benches` feature (which additionally requires re-adding
+//! `criterion = "0.5"` to [dev-dependencies] with network access).
+//! Without the feature this target compiles to an empty `main`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use motsim_bdd::{Bdd, BddManager, VarId};
+#[cfg(feature = "criterion-benches")]
+mod imp {
 
-/// Builds `∏_i [g_i(x) ≡ g_i(y)]` where `g_i = x_i ⊕ x_{i-1}` (a
-/// counter-like next-state slice), with `xvar(i)`/`yvar(i)` supplied by the
-/// order under test. Returns the BDD size (the quantity that explodes).
-fn comparison_product(
-    mgr: &BddManager,
-    m: usize,
-    xvar: impl Fn(usize) -> VarId,
-    yvar: impl Fn(usize) -> VarId,
-) -> usize {
-    let gx = |i: usize| -> Bdd {
-        let a = mgr.var(xvar(i));
-        if i == 0 {
-            a
-        } else {
-            a.xor(&mgr.var(xvar(i - 1))).unwrap()
+    use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+    use motsim_bdd::{Bdd, BddManager, VarId};
+
+    /// Builds `∏_i [g_i(x) ≡ g_i(y)]` where `g_i = x_i ⊕ x_{i-1}` (a
+    /// counter-like next-state slice), with `xvar(i)`/`yvar(i)` supplied by the
+    /// order under test. Returns the BDD size (the quantity that explodes).
+    fn comparison_product(
+        mgr: &BddManager,
+        m: usize,
+        xvar: impl Fn(usize) -> VarId,
+        yvar: impl Fn(usize) -> VarId,
+    ) -> usize {
+        let gx = |i: usize| -> Bdd {
+            let a = mgr.var(xvar(i));
+            if i == 0 {
+                a
+            } else {
+                a.xor(&mgr.var(xvar(i - 1))).unwrap()
+            }
+        };
+        let gy = |i: usize| -> Bdd {
+            let a = mgr.var(yvar(i));
+            if i == 0 {
+                a
+            } else {
+                a.xor(&mgr.var(yvar(i - 1))).unwrap()
+            }
+        };
+        let mut acc = mgr.one();
+        for i in 0..m {
+            let e = gx(i).equiv(&gy(i)).unwrap();
+            acc = acc.and(&e).unwrap();
         }
-    };
-    let gy = |i: usize| -> Bdd {
-        let a = mgr.var(yvar(i));
-        if i == 0 {
-            a
-        } else {
-            a.xor(&mgr.var(yvar(i - 1))).unwrap()
+        acc.size()
+    }
+
+    fn bench_varorder(c: &mut Criterion) {
+        let mut g = c.benchmark_group("mot_varorder");
+        for m in [8usize, 12, 16] {
+            g.bench_function(format!("interleaved_{m}"), |b| {
+                b.iter_batched(
+                    || BddManager::with_vars(2 * m),
+                    |mgr| {
+                        comparison_product(
+                            &mgr,
+                            m,
+                            |i| VarId::from_index(2 * i),
+                            |i| VarId::from_index(2 * i + 1),
+                        )
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+            g.bench_function(format!("blocked_{m}"), |b| {
+                b.iter_batched(
+                    || BddManager::with_vars(2 * m),
+                    |mgr| {
+                        comparison_product(&mgr, m, VarId::from_index, |i| VarId::from_index(m + i))
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
         }
-    };
-    let mut acc = mgr.one();
-    for i in 0..m {
-        let e = gx(i).equiv(&gy(i)).unwrap();
-        acc = acc.and(&e).unwrap();
+        g.finish();
     }
-    acc.size()
-}
 
-fn bench_varorder(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mot_varorder");
-    for m in [8usize, 12, 16] {
-        g.bench_function(format!("interleaved_{m}"), |b| {
-            b.iter_batched(
-                || BddManager::with_vars(2 * m),
-                |mgr| {
-                    comparison_product(
-                        &mgr,
-                        m,
-                        |i| VarId::from_index(2 * i),
-                        |i| VarId::from_index(2 * i + 1),
-                    )
-                },
-                BatchSize::SmallInput,
-            )
-        });
-        g.bench_function(format!("blocked_{m}"), |b| {
-            b.iter_batched(
-                || BddManager::with_vars(2 * m),
-                |mgr| comparison_product(&mgr, m, VarId::from_index, |i| VarId::from_index(m + i)),
-                BatchSize::SmallInput,
-            )
-        });
+    /// Sanity sizes printed once under `--bench` so EXPERIMENTS.md can quote
+    /// them: the interleaved product is linear, the blocked one exponential.
+    fn bench_sizes(c: &mut Criterion) {
+        let m = 14;
+        let mgr = BddManager::with_vars(2 * m);
+        let inter = comparison_product(
+            &mgr,
+            m,
+            |i| VarId::from_index(2 * i),
+            |i| VarId::from_index(2 * i + 1),
+        );
+        let mgr = BddManager::with_vars(2 * m);
+        let blocked = comparison_product(&mgr, m, VarId::from_index, |i| VarId::from_index(m + i));
+        eprintln!("E-product size at m={m}: interleaved {inter} nodes, blocked {blocked} nodes");
+        assert!(inter < blocked);
+        c.bench_function("varorder_size_probe", |b| b.iter(|| inter + blocked));
     }
-    g.finish();
+
+    criterion_group!(benches, bench_varorder, bench_sizes);
 }
 
-/// Sanity sizes printed once under `--bench` so EXPERIMENTS.md can quote
-/// them: the interleaved product is linear, the blocked one exponential.
-fn bench_sizes(c: &mut Criterion) {
-    let m = 14;
-    let mgr = BddManager::with_vars(2 * m);
-    let inter = comparison_product(
-        &mgr,
-        m,
-        |i| VarId::from_index(2 * i),
-        |i| VarId::from_index(2 * i + 1),
-    );
-    let mgr = BddManager::with_vars(2 * m);
-    let blocked = comparison_product(&mgr, m, VarId::from_index, |i| VarId::from_index(m + i));
-    eprintln!("E-product size at m={m}: interleaved {inter} nodes, blocked {blocked} nodes");
-    assert!(inter < blocked);
-    c.bench_function("varorder_size_probe", |b| b.iter(|| inter + blocked));
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_varorder, bench_sizes);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

@@ -1,42 +1,62 @@
 //! Table I as a benchmark: three-valued fault simulation with and without
 //! the `ID_X-red` pre-pass, plus the pre-pass itself (whose run time the
 //! paper calls "negligible").
+//!
+//! Offline build note: the `criterion` crate cannot be fetched in the
+//! offline image, so the bench body is gated behind the non-default
+//! `criterion-benches` feature (which additionally requires re-adding
+//! `criterion = "0.5"` to [dev-dependencies] with network access).
+//! Without the feature this target compiles to an empty `main`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use motsim::faults::FaultList;
-use motsim::pattern::TestSequence;
-use motsim::sim3::FaultSim3;
-use motsim::xred::XRedAnalysis;
+#[cfg(feature = "criterion-benches")]
+mod imp {
 
-fn bench_xred(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xred");
-    g.sample_size(10);
-    for name in ["g208", "g298", "g420", "g838", "g953"] {
-        let netlist = motsim_circuits::suite::by_name(name).unwrap();
-        let faults = FaultList::collapsed(&netlist);
-        let seq = TestSequence::random(&netlist, 100, 1);
-        let analysis = XRedAnalysis::analyze(&netlist, &seq);
-        let (_, rest) = analysis.partition(faults.iter().cloned());
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use motsim::faults::FaultList;
+    use motsim::pattern::TestSequence;
+    use motsim::sim3::FaultSim3;
+    use motsim::xred::XRedAnalysis;
 
-        g.bench_function(format!("id_x_red/{name}"), |b| {
-            b.iter(|| XRedAnalysis::analyze(&netlist, &seq))
-        });
-        g.bench_function(format!("x01_full/{name}"), |b| {
-            b.iter(|| FaultSim3::run(&netlist, &seq, faults.iter().cloned()).num_detected())
-        });
-        g.bench_function(format!("x01_pruned/{name}"), |b| {
-            b.iter(|| FaultSim3::run(&netlist, &seq, rest.iter().cloned()).num_detected())
+    fn bench_xred(c: &mut Criterion) {
+        let mut g = c.benchmark_group("xred");
+        g.sample_size(10);
+        for name in ["g208", "g298", "g420", "g838", "g953"] {
+            let netlist = motsim_circuits::suite::by_name(name).unwrap();
+            let faults = FaultList::collapsed(&netlist);
+            let seq = TestSequence::random(&netlist, 100, 1);
+            let analysis = XRedAnalysis::analyze(&netlist, &seq);
+            let (_, rest) = analysis.partition(faults.iter().cloned());
+
+            g.bench_function(format!("id_x_red/{name}"), |b| {
+                b.iter(|| XRedAnalysis::analyze(&netlist, &seq))
+            });
+            g.bench_function(format!("x01_full/{name}"), |b| {
+                b.iter(|| FaultSim3::run(&netlist, &seq, faults.iter().cloned()).num_detected())
+            });
+            g.bench_function(format!("x01_pruned/{name}"), |b| {
+                b.iter(|| FaultSim3::run(&netlist, &seq, rest.iter().cloned()).num_detected())
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_static_xred(c: &mut Criterion) {
+        c.bench_function("xred_static/g838", |b| {
+            let netlist = motsim_circuits::suite::by_name("g838").unwrap();
+            b.iter(|| XRedAnalysis::analyze_static(&netlist))
         });
     }
-    g.finish();
+
+    criterion_group!(benches, bench_xred, bench_static_xred);
 }
 
-fn bench_static_xred(c: &mut Criterion) {
-    c.bench_function("xred_static/g838", |b| {
-        let netlist = motsim_circuits::suite::by_name("g838").unwrap();
-        b.iter(|| XRedAnalysis::analyze_static(&netlist))
-    });
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_xred, bench_static_xred);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

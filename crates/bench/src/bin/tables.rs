@@ -33,6 +33,7 @@ struct Opts {
     len: usize,
     quick: bool,
     seed: u64,
+    jobs: usize,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -40,6 +41,7 @@ fn parse_opts(args: &[String]) -> Opts {
         len: DEFAULT_LEN,
         quick: false,
         seed: DEFAULT_SEED,
+        jobs: 1,
     };
     let mut i = 0;
     while i < args.len() {
@@ -58,6 +60,14 @@ fn parse_opts(args: &[String]) -> Opts {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .map(|j: usize| j.max(1))
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+            }
             "--quick" => opts.quick = true,
             other => die(&format!("unknown option `{other}`")),
         }
@@ -72,7 +82,7 @@ fn parse_opts(args: &[String]) -> Opts {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: tables <table1|table2|table3|table4|figs|all> [--len N] [--seed S] [--quick]"
+        "usage: tables <table1|table2|table3|table4|figs|all> [--len N] [--seed S] [--jobs N] [--quick]"
     );
     std::process::exit(2)
 }
@@ -147,7 +157,7 @@ fn table1(opts: &Opts) {
         cell("IDX[s]", 8),
     );
     for name in table1_names(opts.quick) {
-        let r = table1_row(&spec(name), opts.len, opts.seed);
+        let r = table1_row(&spec(name), opts.len, opts.seed, opts.jobs);
         println!(
             "{} {} {} {} {} {} {} {}",
             cell(r.name, 9),
@@ -210,7 +220,7 @@ fn table2(opts: &Opts) {
         let s = spec(name);
         let netlist = (s.build)();
         let seq = TestSequence::random(&netlist, opts.len, opts.seed);
-        let r = table23_row(&s, &seq, HybridConfig::default());
+        let r = table23_row(&s, &seq, HybridConfig::default(), opts.jobs);
         for (sum, c) in sums.iter_mut().zip(&r.cells) {
             *sum += c.detected;
         }
@@ -237,7 +247,7 @@ fn table3(opts: &Opts) {
         if seq.is_empty() {
             continue;
         }
-        let r = table23_row(&s, &seq, HybridConfig::default());
+        let r = table23_row(&s, &seq, HybridConfig::default(), opts.jobs);
         print_table23_row(&r);
     }
 }

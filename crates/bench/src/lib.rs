@@ -7,7 +7,7 @@
 use std::time::{Duration, Instant};
 
 use motsim::faults::FaultList;
-use motsim::hybrid::{hybrid_run, HybridConfig};
+use motsim::hybrid::HybridConfig;
 use motsim::pattern::TestSequence;
 use motsim::sim3::FaultSim3;
 use motsim::symbolic::Strategy;
@@ -43,23 +43,32 @@ pub struct Table1Row {
     pub t_idx: Duration,
 }
 
-/// Runs one Table I row.
-pub fn table1_row(spec: &BenchmarkSpec, len: usize, seed: u64) -> Table1Row {
+/// Runs one Table I row with `jobs` worker threads (the verdicts are
+/// identical for every `jobs` value; only the times change).
+pub fn table1_row(spec: &BenchmarkSpec, len: usize, seed: u64, jobs: usize) -> Table1Row {
     let netlist = (spec.build)();
     let faults = FaultList::collapsed(&netlist);
     let seq = TestSequence::random(&netlist, len, seed);
 
     let t0 = Instant::now();
     let analysis = XRedAnalysis::analyze(&netlist, &seq);
-    let (red, rest) = analysis.partition(faults.iter().cloned());
+    let (red, rest) = motsim_engine::xred_partition(&analysis, faults.as_slice(), jobs);
     let t_idx = t0.elapsed();
 
+    let sim3 = |faults: &[motsim::Fault]| {
+        motsim_engine::run(
+            &motsim_engine::Job::new(&netlist, &seq, faults, motsim_engine::EngineKind::Sim3)
+                .jobs(jobs),
+        )
+        .expect("three-valued jobs cannot fail")
+        .outcome
+    };
     let t0 = Instant::now();
-    let full = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
+    let full = sim3(faults.as_slice());
     let t_x01 = t0.elapsed();
 
     let t0 = Instant::now();
-    let _pruned = FaultSim3::run(&netlist, &seq, rest.iter().cloned());
+    let _pruned = sim3(&rest);
     let t_x01p = t0.elapsed();
 
     Table1Row {
@@ -104,8 +113,14 @@ pub struct Table23Row {
     pub cells: [StrategyCell; 3],
 }
 
-/// Runs one Table II/III row for a given sequence.
-pub fn table23_row(spec: &BenchmarkSpec, seq: &TestSequence, config: HybridConfig) -> Table23Row {
+/// Runs one Table II/III row for a given sequence with `jobs` worker
+/// threads (verdicts identical for every `jobs` value).
+pub fn table23_row(
+    spec: &BenchmarkSpec,
+    seq: &TestSequence,
+    config: HybridConfig,
+    jobs: usize,
+) -> Table23Row {
     let netlist = (spec.build)();
     let faults = FaultList::collapsed(&netlist);
     // |F_u|: everything the three-valued flow leaves open.
@@ -114,7 +129,17 @@ pub fn table23_row(spec: &BenchmarkSpec, seq: &TestSequence, config: HybridConfi
 
     let cells = Strategy::ALL.map(|strategy| {
         let t0 = Instant::now();
-        let outcome = hybrid_run(&netlist, strategy, seq, hard.iter().cloned(), config);
+        let outcome = motsim_engine::run(
+            &motsim_engine::Job::new(
+                &netlist,
+                seq,
+                &hard,
+                motsim_engine::EngineKind::Hybrid(strategy, config),
+            )
+            .jobs(jobs),
+        )
+        .expect("hybrid jobs cannot fail")
+        .outcome;
         StrategyCell {
             detected: outcome.num_detected(),
             time: t0.elapsed(),
@@ -210,7 +235,7 @@ mod tests {
 
     #[test]
     fn table1_row_smoke() {
-        let r = table1_row(&spec("g27"), 30, 1);
+        let r = table1_row(&spec("g27"), 30, 1, 2);
         assert_eq!(r.name, "g27");
         assert!(r.faults > 0);
         assert!(r.detected <= r.faults);
@@ -222,7 +247,7 @@ mod tests {
         let s = spec("g208");
         let netlist = (s.build)();
         let seq = TestSequence::random(&netlist, 30, 2);
-        let r = table23_row(&s, &seq, HybridConfig::default());
+        let r = table23_row(&s, &seq, HybridConfig::default(), 2);
         assert!(r.cells[0].detected <= r.cells[1].detected, "SOT ≤ rMOT");
         // MOT ≥ rMOT holds when no fallback occurred.
         if !r.cells[2].approximate {

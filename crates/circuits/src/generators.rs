@@ -5,8 +5,7 @@
 //! deterministic: the randomized ones take an explicit seed.
 
 use motsim_netlist::{builder::NetlistBuilder, GateKind, NetId, Netlist};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use motsim_rng::SmallRng;
 
 /// Builds a balanced tree of 2-input gates of `kind` over `nets`, returning
 /// the root. Single net: returns it unchanged (no gate inserted).

@@ -3,9 +3,9 @@
 //! ```text
 //! motsim stats      <circuit>
 //! motsim faults     <circuit> [--complete]
-//! motsim sim3       <circuit> [--len N] [--seed S] [--no-xred]
-//! motsim strategies <circuit> [--len N] [--seed S] [--limit NODES]
-//! motsim xred       <circuit> [--len N] [--seed S] [--static]
+//! motsim sim3       <circuit> [--len N] [--seed S] [--no-xred] [--jobs N]
+//! motsim strategies <circuit> [--len N] [--seed S] [--limit NODES] [--jobs N]
+//! motsim xred       <circuit> [--len N] [--seed S] [--static] [--jobs N]
 //! motsim tgen       <circuit> [--max-len N] [--seed S] [--compact]
 //! motsim synch      <circuit> [--max-len N] [--seed S]
 //! motsim testeval   <circuit> [--len N] [--seed S] [--limit NODES]
@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use motsim::dictionary::FaultDictionary;
 use motsim::faults::FaultList;
-use motsim::hybrid::{hybrid_run, HybridConfig};
+use motsim::hybrid::HybridConfig;
 use motsim::pattern::TestSequence;
 use motsim::sim3::FaultSim3;
 use motsim::symbolic::Strategy;
@@ -57,7 +57,9 @@ commands:
 <circuit> is a suite name (try `motsim list`) or a .bench file path.
 
 options: --len N  --seed S  --limit NODES  --max-len N  --complete
-         --static  --inject K  --output J  --no-xred  --all-nets  --compact";
+         --static  --inject K  --output J  --no-xred  --all-nets  --compact
+         --jobs N  (worker threads for sim3/strategies/xred; the result is
+                    identical for every N — see DESIGN.md §8)";
 
 #[derive(Debug)]
 struct Opts {
@@ -72,6 +74,7 @@ struct Opts {
     output: usize,
     all_nets: bool,
     compact: bool,
+    jobs: usize,
 }
 
 impl Default for Opts {
@@ -88,6 +91,7 @@ impl Default for Opts {
             output: 0,
             all_nets: false,
             compact: false,
+            jobs: 1,
         }
     }
 }
@@ -113,6 +117,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--limit" => o.limit = num(args, &mut i, "--limit"),
             "--max-len" => o.max_len = num(args, &mut i, "--max-len"),
             "--inject" => o.inject = num(args, &mut i, "--inject"),
+            "--jobs" => o.jobs = num(args, &mut i, "--jobs").max(1),
             "--output" => o.output = num(args, &mut i, "--output"),
             "--complete" => o.complete = true,
             "--static" => o.static_mode = true,
@@ -124,6 +129,40 @@ fn parse_opts(args: &[String]) -> Opts {
         i += 1;
     }
     o
+}
+
+/// Runs an engine job, draining progress events to stderr when more than
+/// one worker is requested.
+fn run_job(job: &motsim_engine::Job) -> motsim_engine::JobResult {
+    use motsim_engine::Progress;
+    let result = if job.jobs > 1 {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut result = None;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for event in rx {
+                    match event {
+                        Progress::UnitStarted {
+                            unit,
+                            worker,
+                            faults,
+                        } => eprintln!("  [worker {worker}] unit {unit}: {faults} fault(s)"),
+                        Progress::UnitFinished {
+                            unit,
+                            worker,
+                            detected,
+                        } => eprintln!("  [worker {worker}] unit {unit} done: {detected} detected"),
+                    }
+                }
+            });
+            result = Some(motsim_engine::run_with_progress(job, Some(&tx)));
+            drop(tx);
+        });
+        result.expect("job ran")
+    } else {
+        motsim_engine::run(job)
+    };
+    result.unwrap_or_else(|e| die(&format!("engine failure: {e}")))
 }
 
 fn load_circuit(name: &str) -> Netlist {
@@ -240,10 +279,14 @@ fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
         (faults.as_slice().to_vec(), 0)
     } else {
         let analysis = XRedAnalysis::analyze(netlist, &seq);
-        let (red, rest) = analysis.partition(faults.iter().cloned());
+        let (red, rest) = motsim_engine::xred_partition(&analysis, faults.as_slice(), opts.jobs);
         (rest, red.len())
     };
-    let outcome = FaultSim3::run(netlist, &seq, sim_faults.iter().cloned());
+    let outcome = run_job(
+        &motsim_engine::Job::new(netlist, &seq, &sim_faults, motsim_engine::EngineKind::Sim3)
+            .jobs(opts.jobs),
+    )
+    .outcome;
     println!(
         "{} vectors, {} faults ({} X-redundant eliminated): {} detected in {:?}",
         opts.len,
@@ -261,7 +304,16 @@ fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
 fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
     let faults = FaultList::collapsed(netlist);
     let seq = TestSequence::random(netlist, opts.len, opts.seed);
-    let three = FaultSim3::run(netlist, &seq, faults.iter().cloned());
+    let three = run_job(
+        &motsim_engine::Job::new(
+            netlist,
+            &seq,
+            faults.as_slice(),
+            motsim_engine::EngineKind::Sim3,
+        )
+        .jobs(opts.jobs),
+    )
+    .outcome;
     let hard: Vec<_> = three.undetected_faults().collect();
     println!(
         "{}: |F| = {}, three-valued detects {}, {} hard faults remain",
@@ -276,12 +328,26 @@ fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
     };
     for strategy in Strategy::ALL {
         let t0 = Instant::now();
-        let outcome = hybrid_run(netlist, strategy, &seq, hard.iter().cloned(), config);
+        let r = run_job(
+            &motsim_engine::Job::new(
+                netlist,
+                &seq,
+                &hard,
+                motsim_engine::EngineKind::Hybrid(strategy, config),
+            )
+            .jobs(opts.jobs),
+        );
         println!(
-            "  {strategy:>4}: +{:<5} detected{} in {:?}",
-            outcome.num_detected(),
-            if outcome.is_approximate() { " (*)" } else { "" },
-            t0.elapsed()
+            "  {strategy:>4}: +{:<5} detected{} in {:?} ({} unit(s), {} worker(s))",
+            r.outcome.num_detected(),
+            if r.outcome.is_approximate() {
+                " (*)"
+            } else {
+                ""
+            },
+            t0.elapsed(),
+            r.units,
+            r.workers
         );
     }
 }
@@ -295,7 +361,7 @@ fn cmd_xred(netlist: &Netlist, opts: &Opts) {
         let seq = TestSequence::random(netlist, opts.len, opts.seed);
         XRedAnalysis::analyze(netlist, &seq)
     };
-    let (red, rest) = analysis.partition(faults.iter().cloned());
+    let (red, rest) = motsim_engine::xred_partition(&analysis, faults.as_slice(), opts.jobs);
     println!(
         "{} of {} faults are X-redundant ({}, {:?})",
         red.len(),

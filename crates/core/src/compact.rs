@@ -138,11 +138,20 @@ mod tests {
                 ..Default::default()
             },
         );
-        let random = TestSequence::random(&n, guided.len().max(2), 8);
         let rg = compact(&n, &guided, &faults);
-        let rr = compact(&n, &random, &faults);
         let frac_g = rg.removed as f64 / guided.len().max(1) as f64;
-        let frac_r = rr.removed as f64 / random.len() as f64;
+        // Average the random fraction over a few seeds: a single draw is
+        // noisy enough to flip the comparison.
+        let seeds = [7u64, 8, 9];
+        let frac_r = seeds
+            .iter()
+            .map(|&s| {
+                let random = TestSequence::random(&n, guided.len().max(2), s);
+                let rr = compact(&n, &random, &faults);
+                rr.removed as f64 / random.len() as f64
+            })
+            .sum::<f64>()
+            / seeds.len() as f64;
         assert!(
             frac_g <= frac_r + 0.25,
             "guided {frac_g:.2} vs random {frac_r:.2}"

@@ -73,12 +73,16 @@ pub struct FaultList {
 
 impl FaultList {
     /// The complete (uncollapsed) fault universe: two faults per lead.
+    ///
+    /// Like every [`FaultList`] constructor, the list is sorted by fault id
+    /// so downstream reports are deterministically ordered.
     pub fn complete(netlist: &Netlist) -> Self {
-        let faults: Vec<Fault> = netlist
+        let mut faults: Vec<Fault> = netlist
             .leads()
             .into_iter()
             .flat_map(|l| [Fault::stuck_at_0(l), Fault::stuck_at_1(l)])
             .collect();
+        faults.sort();
         let complete_count = faults.len();
         FaultList {
             faults,
@@ -175,7 +179,7 @@ impl FaultList {
     /// "inputs" of the combinational core).
     pub fn checkpoints(netlist: &Netlist) -> Self {
         let complete = Self::complete(netlist);
-        let faults: Vec<Fault> = netlist
+        let mut faults: Vec<Fault> = netlist
             .leads()
             .into_iter()
             .filter(|l| match l.sink {
@@ -184,6 +188,7 @@ impl FaultList {
             })
             .flat_map(|l| [Fault::stuck_at_0(l), Fault::stuck_at_1(l)])
             .collect();
+        faults.sort();
         FaultList {
             faults,
             complete_count: complete.complete_count,

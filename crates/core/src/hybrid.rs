@@ -178,7 +178,7 @@ pub fn hybrid_run(
         carry = Some((tv.true_state().to_vec(), tv.faulty_states()));
     }
 
-    SimOutcome {
+    let mut outcome = SimOutcome {
         results: order
             .iter()
             .map(|&fault| FaultOutcome {
@@ -189,7 +189,9 @@ pub fn hybrid_run(
         frames: seq.len(),
         fallback_frames: fallback_total,
         degraded_terms: degraded_total,
-    }
+    };
+    outcome.sort_by_fault();
+    outcome
 }
 
 #[cfg(test)]

@@ -3,8 +3,7 @@
 use std::fmt;
 
 use motsim_netlist::Netlist;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use motsim_rng::SmallRng;
 
 /// A test sequence `Z = (z(1), …, z(n))`: one fully specified binary input
 /// vector per clock cycle.

@@ -140,12 +140,14 @@ pub fn parallel_fault_run(
         }
     }
 
-    SimOutcome {
+    let mut outcome = SimOutcome {
         results,
         frames: seq.len(),
         fallback_frames: 0,
         degraded_terms: 0,
-    }
+    };
+    outcome.sort_by_fault();
+    outcome
 }
 
 fn eval_frame_group(

@@ -26,7 +26,7 @@ pub struct FaultOutcome {
 }
 
 /// Result of a fault-simulation run over a test sequence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimOutcome {
     /// One entry per simulated fault, in input order.
     pub results: Vec<FaultOutcome>,
@@ -85,6 +85,34 @@ impl SimOutcome {
     /// fallback frames or skipped detection terms (the tables' asterisk).
     pub fn is_approximate(&self) -> bool {
         self.fallback_frames > 0 || self.degraded_terms > 0
+    }
+
+    /// Sorts the per-fault results by fault id (lead, then stuck value).
+    ///
+    /// Every simulation entry point normalizes its outcome with this, so
+    /// sequential and sharded-parallel runs over the same fault set produce
+    /// byte-identical result vectors and diff cleanly.
+    pub fn sort_by_fault(&mut self) {
+        self.results.sort_by_key(|r| r.fault);
+    }
+
+    /// Merges per-shard outcomes of the *same* simulation (same circuit,
+    /// sequence and configuration, disjoint fault shards) into one.
+    ///
+    /// The result vectors are concatenated and re-sorted by fault id, so
+    /// the merge is deterministic regardless of shard order or count;
+    /// `frames` takes the maximum and the accuracy-loss counters
+    /// (`fallback_frames`, `degraded_terms`) accumulate across shards.
+    pub fn merge(parts: impl IntoIterator<Item = SimOutcome>) -> SimOutcome {
+        let mut merged = SimOutcome::default();
+        for part in parts {
+            merged.results.extend(part.results);
+            merged.frames = merged.frames.max(part.frames);
+            merged.fallback_frames += part.fallback_frames;
+            merged.degraded_terms += part.degraded_terms;
+        }
+        merged.sort_by_fault();
+        merged
     }
 }
 

@@ -329,7 +329,7 @@ impl<'a> FaultSim3<'a> {
 
     /// Per-fault results collected so far.
     pub fn outcome(&self) -> SimOutcome {
-        SimOutcome {
+        let mut outcome = SimOutcome {
             results: self
                 .records
                 .iter()
@@ -341,7 +341,9 @@ impl<'a> FaultSim3<'a> {
             frames: self.frame,
             fallback_frames: 0,
             degraded_terms: 0,
-        }
+        };
+        outcome.sort_by_fault();
+        outcome
     }
 
     /// Applies one input vector to the fault-free machine and every live

@@ -456,9 +456,9 @@ impl<'a> SymbolicFaultSim<'a> {
             .collect()
     }
 
-    /// Per-fault results collected so far.
+    /// Per-fault results collected so far, sorted by fault id.
     pub fn outcome(&self) -> SimOutcome {
-        SimOutcome {
+        let mut outcome = SimOutcome {
             results: self
                 .records
                 .iter()
@@ -470,7 +470,9 @@ impl<'a> SymbolicFaultSim<'a> {
             frames: self.frame,
             fallback_frames: 0,
             degraded_terms: self.degraded_terms,
-        }
+        };
+        outcome.sort_by_fault();
+        outcome
     }
 
     /// Detection-function terms skipped because of the node limit (0 when

@@ -15,8 +15,7 @@
 
 use motsim_bdd::BddError;
 use motsim_netlist::Netlist;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use motsim_rng::SmallRng;
 
 use crate::pattern::TestSequence;
 use crate::sim3::TrueSim;

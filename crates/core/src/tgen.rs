@@ -9,8 +9,7 @@
 //! coverage stalls. (See `DESIGN.md` §2 for the substitution rationale.)
 
 use motsim_netlist::Netlist;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use motsim_rng::SmallRng;
 
 use crate::faults::Fault;
 use crate::pattern::TestSequence;

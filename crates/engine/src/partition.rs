@@ -1,0 +1,222 @@
+//! Deterministic sharding of a collapsed fault list into work units.
+//!
+//! The partition plan is a pure function of the fault list, the netlist and
+//! the requested unit count — it does **not** depend on how many worker
+//! threads later execute it. That independence is what makes the whole
+//! engine deterministic: every `--jobs` value executes the *same* units in
+//! the *same* per-unit fault order, each in a fresh BDD manager, so the
+//! merged outcome is byte-identical regardless of thread count (see
+//! DESIGN.md §8).
+
+use std::collections::HashMap;
+
+use motsim::Fault;
+use motsim_netlist::analysis::fanout_cone;
+use motsim_netlist::{NetId, Netlist};
+
+/// How faults are assigned to work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionPolicy {
+    /// Fault *i* goes to unit *i mod units*. Cheap, oblivious to cost.
+    RoundRobin,
+    /// Longest-processing-time greedy on an estimated per-fault cost (the
+    /// size of the fault site's combinational fanout cone): faults are
+    /// placed heaviest-first onto the currently lightest unit. Ties break
+    /// deterministically (lower load, then lower unit id).
+    #[default]
+    CostBalanced,
+}
+
+/// A shard of the fault list, executed by one worker in one fresh manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Position of this unit in the partition plan. Unit ids are dense
+    /// (`0..plan.len()`) and the reducer merges outcomes in id order.
+    pub id: usize,
+    /// The faults of this shard, sorted ascending (canonical order).
+    pub faults: Vec<Fault>,
+    /// Estimated cost: sum of the per-fault fanout-cone sizes.
+    pub cost: u64,
+}
+
+/// Splits fault lists into [`WorkUnit`]s over a fixed netlist.
+///
+/// The partitioner memoizes per-net fanout-cone sizes, so partitioning many
+/// batches (or re-partitioning with different unit counts) stays cheap.
+#[derive(Debug)]
+pub struct FaultPartitioner<'a> {
+    netlist: &'a Netlist,
+    policy: PartitionPolicy,
+    cone_size: HashMap<NetId, u64>,
+}
+
+impl<'a> FaultPartitioner<'a> {
+    /// Creates a partitioner for `netlist` with the given policy.
+    pub fn new(netlist: &'a Netlist, policy: PartitionPolicy) -> Self {
+        FaultPartitioner {
+            netlist,
+            policy,
+            cone_size: HashMap::new(),
+        }
+    }
+
+    /// The policy this partitioner assigns faults with.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+
+    /// Estimated simulation cost of one fault: the size of the
+    /// combinational fanout cone its effect propagates through. For a stem
+    /// fault that is the cone of the stem; for a branch fault, the cone of
+    /// the sink gate's output (the effect enters the circuit there).
+    pub fn fault_cost(&mut self, fault: Fault) -> u64 {
+        let site = match fault.lead.sink {
+            Some((sink, _)) => sink,
+            None => fault.lead.net,
+        };
+        let netlist = self.netlist;
+        *self
+            .cone_size
+            .entry(site)
+            .or_insert_with(|| fanout_cone(netlist, site).len() as u64)
+    }
+
+    /// Partitions `faults` into at most `units` work units.
+    ///
+    /// Empty units are dropped, so the returned plan has
+    /// `min(units, faults.len())` entries (none for an empty fault list).
+    /// Unit ids are re-numbered densely in plan order. Within each unit the
+    /// faults are sorted ascending; across units every input fault appears
+    /// exactly once.
+    pub fn partition(&mut self, faults: &[Fault], units: usize) -> Vec<WorkUnit> {
+        let units = units.max(1).min(faults.len());
+        let mut shards: Vec<WorkUnit> = (0..units)
+            .map(|id| WorkUnit {
+                id,
+                faults: Vec::new(),
+                cost: 0,
+            })
+            .collect();
+
+        match self.policy {
+            PartitionPolicy::RoundRobin => {
+                for (i, &f) in faults.iter().enumerate() {
+                    let cost = self.fault_cost(f);
+                    let shard = &mut shards[i % units];
+                    shard.faults.push(f);
+                    shard.cost += cost;
+                }
+            }
+            PartitionPolicy::CostBalanced => {
+                // Heaviest first; equal-cost faults keep their list order so
+                // the plan is a pure function of (faults, netlist, units).
+                let mut order: Vec<(u64, Fault)> =
+                    faults.iter().map(|&f| (self.fault_cost(f), f)).collect();
+                order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                for (cost, f) in order {
+                    let shard = shards
+                        .iter_mut()
+                        .min_by_key(|s| (s.cost, s.id))
+                        .expect("units >= 1");
+                    shard.faults.push(f);
+                    shard.cost += cost;
+                }
+            }
+        }
+
+        shards.retain(|s| !s.faults.is_empty());
+        for (id, shard) in shards.iter_mut().enumerate() {
+            shard.id = id;
+            shard.faults.sort();
+        }
+        shards
+    }
+}
+
+/// Default work-unit count for `n` faults: one unit per 32 faults, at least
+/// 1, at most 64. Enough granularity that cost imbalance averages out, few
+/// enough that per-unit manager setup stays negligible — and, crucially,
+/// independent of the worker count.
+pub fn default_units(n: usize) -> usize {
+    n.div_ceil(32).clamp(1, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motsim::FaultList;
+
+    fn faults_of(netlist: &Netlist) -> Vec<Fault> {
+        FaultList::collapsed(netlist).into_iter().collect()
+    }
+
+    #[test]
+    fn partition_is_a_permutation() {
+        let n = motsim_circuits::s27();
+        let faults = faults_of(&n);
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::CostBalanced] {
+            let mut p = FaultPartitioner::new(&n, policy);
+            let plan = p.partition(&faults, 4);
+            let mut got: Vec<Fault> = plan.iter().flat_map(|u| u.faults.clone()).collect();
+            got.sort();
+            assert_eq!(got, faults, "{policy:?} must cover every fault once");
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let n = motsim_circuits::generators::counter(6);
+        let faults = faults_of(&n);
+        let plan_a = FaultPartitioner::new(&n, PartitionPolicy::CostBalanced).partition(&faults, 5);
+        let plan_b = FaultPartitioner::new(&n, PartitionPolicy::CostBalanced).partition(&faults, 5);
+        assert_eq!(plan_a, plan_b);
+    }
+
+    #[test]
+    fn unit_count_clamped_to_fault_count() {
+        let n = motsim_circuits::s27();
+        let faults = faults_of(&n);
+        let mut p = FaultPartitioner::new(&n, PartitionPolicy::RoundRobin);
+        let plan = p.partition(&faults, 10 * faults.len());
+        assert_eq!(plan.len(), faults.len());
+        assert!(plan.iter().all(|u| u.faults.len() == 1));
+    }
+
+    #[test]
+    fn empty_fault_list_gives_empty_plan() {
+        let n = motsim_circuits::s27();
+        let mut p = FaultPartitioner::new(&n, PartitionPolicy::CostBalanced);
+        assert!(p.partition(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn cost_balancing_beats_round_robin_spread() {
+        // On a circuit with wildly varying cone sizes the LPT plan's
+        // max-load must be no worse than round-robin's.
+        let n = motsim_circuits::generators::counter(10);
+        let faults = faults_of(&n);
+        let rr = FaultPartitioner::new(&n, PartitionPolicy::RoundRobin).partition(&faults, 4);
+        let lpt = FaultPartitioner::new(&n, PartitionPolicy::CostBalanced).partition(&faults, 4);
+        let max = |plan: &[WorkUnit]| plan.iter().map(|u| u.cost).max().unwrap();
+        assert!(max(&lpt) <= max(&rr));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let n = motsim_circuits::generators::counter(8);
+        let faults = faults_of(&n);
+        let plan = FaultPartitioner::new(&n, PartitionPolicy::CostBalanced).partition(&faults, 7);
+        for (i, unit) in plan.iter().enumerate() {
+            assert_eq!(unit.id, i);
+        }
+    }
+
+    #[test]
+    fn default_units_scales() {
+        assert_eq!(default_units(0), 1);
+        assert_eq!(default_units(1), 1);
+        assert_eq!(default_units(32), 1);
+        assert_eq!(default_units(33), 2);
+        assert_eq!(default_units(10_000), 64);
+    }
+}

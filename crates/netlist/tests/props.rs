@@ -1,5 +1,11 @@
 //! Property tests of the netlist substrate: arbitrary well-formed builder
 //! programs produce valid, round-trippable netlists.
+//!
+//! Offline build note: these property tests need the external `proptest`
+//! crate, which cannot be fetched in the offline image. They are gated
+//! behind the non-default `proptests` feature; enabling it additionally
+//! requires re-adding the `proptest` dev-dependency with network access.
+#![cfg(feature = "proptests")]
 
 use motsim_netlist::analysis::{fanin_cone, fanout_cone, FfrMap};
 use motsim_netlist::builder::NetlistBuilder;

@@ -1,0 +1,191 @@
+//! Dependency-free seeded pseudo-random number generation.
+//!
+//! The workspace must build with no network access, so instead of the
+//! `rand` crate this tiny module provides the only three operations the
+//! generators actually use: construction from a `u64` seed, uniform
+//! integer ranges and Bernoulli draws. The generator is
+//! [xoshiro256++](https://prng.di.unimi.it/) seeded through SplitMix64
+//! (the reference recommendation for expanding a 64-bit seed), so streams
+//! are high-quality, fast, and — most importantly for the experiment
+//! tables — fully deterministic in the seed on every platform.
+//!
+//! The API mirrors the subset of `rand::rngs::SmallRng` the repo used
+//! (`seed_from_u64`, `gen_range`, `gen_bool`), keeping call sites
+//! unchanged apart from the import path.
+
+/// A small, fast, seedable PRNG (xoshiro256++).
+///
+/// Not cryptographically secure; intended for benchmark-circuit
+/// generation, random test sequences and randomized search heuristics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    ///
+    /// Identical seeds yield identical streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform integer in `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> usize {
+        let (start, width) = range.bounds();
+        assert!(width > 0, "cannot sample from an empty range");
+        start + self.uniform_below(width as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        // 53 uniform mantissa bits, the same resolution `rand` uses.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Unbiased uniform draw in `0..n` (Lemire's multiply-shift rejection).
+    fn uniform_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let threshold = n.wrapping_neg() % n; // 2^64 mod n
+        loop {
+            let wide = (self.next_u64() as u128) * (n as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Integer ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Returns `(start, width)`; a width of 0 marks an empty range.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end.saturating_sub(self.start))
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        let (s, e) = (*self.start(), *self.end());
+        if e < s {
+            (s, 0)
+        } else {
+            (s, e - s + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(2..=5);
+            assert!((2..=5).contains(&w));
+        }
+        // Degenerate single-value ranges.
+        assert_eq!(rng.gen_range(9..10), 9);
+        assert_eq!(rng.gen_range(4..=4), 4);
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values should appear");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..8)] += 1;
+        }
+        for &c in &counts {
+            // Expect 10,000 per bucket; allow ±5%.
+            assert!((9_500..=10_500).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_edges_and_rate() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!((0..1_000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1_000).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((24_000..=26_000).contains(&hits), "p=0.25 gave {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(5..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1]")]
+    fn invalid_probability_panics() {
+        SmallRng::seed_from_u64(0).gen_bool(1.5);
+    }
+}

@@ -1,5 +1,11 @@
 //! Workspace-level property tests: random circuits, random sequences, and
 //! the cross-engine oracles that tie everything together.
+//!
+//! Offline build note: these property tests need the external `proptest`
+//! crate, which cannot be fetched in the offline image. They are gated
+//! behind the non-default `proptests` feature; enabling it additionally
+//! requires re-adding the `proptest` dev-dependency with network access.
+#![cfg(feature = "proptests")]
 
 use motsim::exhaustive::{verdict_from, ResponseMatrix};
 use motsim::faults::FaultList;
