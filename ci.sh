@@ -20,4 +20,21 @@ cargo test --workspace -q
 echo "==> smoke: parallel strategies on g27"
 cargo run --release -p motsim-cli --bin motsim -- strategies g27 --len 40 --jobs 2
 
+echo "==> smoke: worker-count determinism (--jobs 4 vs --jobs 1)"
+# Verdicts, BDD stats, and everything except elapsed times and worker
+# counts must be byte-identical for any --jobs N.
+smoke() {
+  cargo run --release -q -p motsim-cli --bin motsim -- \
+    strategies g27 --len 40 --bdd-stats --jobs "$1" 2>/dev/null |
+    sed 's/ in .*//'
+}
+diff <(smoke 1) <(smoke 4)
+
+# The proptest suites need the external `proptest` crate (network access to
+# fetch), so they are opt-in: MOTSIM_PROPTESTS=1 ./ci.sh
+if [ "${MOTSIM_PROPTESTS:-0}" = "1" ]; then
+  echo "==> feature-gated property tests"
+  cargo test -p motsim-bdd --features proptests -q
+fi
+
 echo "CI OK"

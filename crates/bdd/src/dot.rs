@@ -7,8 +7,13 @@ use crate::Bdd;
 
 /// Renders a set of labelled roots as a Graphviz `digraph`.
 ///
-/// Solid edges are `high` (then) edges, dashed edges are `low` (else) edges;
-/// variable nodes are labelled with a caller-supplied name via `var_name`
+/// One box per *node*: with complement edges a function and its negation
+/// share their whole subgraph, so there is a single terminal `1` (the
+/// constant ⊥ is a complemented arc into it) and negated functions reuse
+/// the same variable nodes. Solid edges are `high` (then) edges — always
+/// regular by the canonical form; dashed edges are `low` (else) edges.
+/// Complemented arcs (root or low) carry a dot arrowhead (`odot`).
+/// Variable nodes are labelled with a caller-supplied name via `var_name`
 /// (e.g. the flip-flop name a state variable encodes).
 ///
 /// # Panics
@@ -17,46 +22,61 @@ use crate::Bdd;
 pub fn to_dot(roots: &[(&str, &Bdd)], var_name: impl Fn(crate::VarId) -> String) -> String {
     let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
     let _ = writeln!(out, "  t1 [shape=box,label=\"1\"];");
-    let _ = writeln!(out, "  t0 [shape=box,label=\"0\"];");
 
     let mut seen: HashSet<u32> = HashSet::new();
     let mut stack: Vec<Bdd> = Vec::new();
     for (label, root) in roots {
-        let id = root_id(root);
         let _ = writeln!(out, "  r_{label} [shape=plaintext,label=\"{label}\"];");
-        let _ = writeln!(out, "  r_{label} -> {};", dot_id(id));
-        stack.push((*root).clone());
+        let _ = writeln!(
+            out,
+            "  r_{label} -> {}{};",
+            dot_id(root),
+            complement_attr(root)
+        );
+        stack.push(root.regular());
     }
     while let Some(b) = stack.pop() {
-        let id = root_id(&b);
-        if id <= 1 || !seen.insert(id) {
+        // Traverse one representative per node: the regular edge.
+        debug_assert!(!b.is_complemented());
+        if b.is_const() || !seen.insert(b.raw_root()) {
             continue;
         }
         let (v, lo, hi) = b.root_triple().expect("non-terminal");
-        let _ = writeln!(out, "  {} [label=\"{}\"];", dot_id(id), var_name(v));
+        let _ = writeln!(out, "  {} [label=\"{}\"];", dot_id(&b), var_name(v));
         let _ = writeln!(
             out,
-            "  {} -> {} [style=dashed];",
-            dot_id(id),
-            dot_id(root_id(&lo))
+            "  {} -> {} [style=dashed{}];",
+            dot_id(&b),
+            dot_id(&lo),
+            if lo.is_complemented() {
+                ",arrowhead=odot"
+            } else {
+                ""
+            }
         );
-        let _ = writeln!(out, "  {} -> {};", dot_id(id), dot_id(root_id(&hi)));
-        stack.push(lo);
-        stack.push(hi);
+        let _ = writeln!(out, "  {} -> {};", dot_id(&b), dot_id(&hi));
+        stack.push(lo.regular());
+        stack.push(hi.regular());
     }
     out.push_str("}\n");
     out
 }
 
-fn root_id(b: &Bdd) -> u32 {
-    b.raw_root()
+/// Node identity: the regular edge's packed value (terminal = `t1`).
+fn dot_id(b: &Bdd) -> String {
+    let reg = b.raw_root() & !1;
+    if reg == 0 {
+        "t1".to_owned()
+    } else {
+        format!("n{reg}")
+    }
 }
 
-fn dot_id(id: u32) -> String {
-    match id {
-        0 => "t0".to_owned(),
-        1 => "t1".to_owned(),
-        n => format!("n{n}"),
+fn complement_attr(b: &Bdd) -> &'static str {
+    if b.is_complemented() {
+        " [arrowhead=odot]"
+    } else {
+        ""
     }
 }
 
@@ -75,7 +95,6 @@ mod tests {
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("x0"));
         assert!(dot.contains("x1"));
-        assert!(dot.contains("t0"));
         assert!(dot.contains("t1"));
         assert!(dot.contains("style=dashed"));
         assert!(dot.contains("r_f"));
@@ -87,6 +106,24 @@ mod tests {
         let m = BddManager::new();
         let one = m.one();
         let dot = to_dot(&[("one", &one)], |v| v.to_string());
-        assert!(dot.contains("r_one -> t1"));
+        assert!(dot.contains("r_one -> t1;"));
+        // ⊥ is a complemented arc into the same terminal.
+        let zero = m.zero();
+        let dot = to_dot(&[("zero", &zero)], |v| v.to_string());
+        assert!(dot.contains("r_zero -> t1 [arrowhead=odot];"));
+    }
+
+    #[test]
+    fn negation_shares_the_graph() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let f = x.and(&y).unwrap();
+        let g = f.not();
+        let dot = to_dot(&[("f", &f), ("nf", &g)], |v| format!("x{}", v.index()));
+        // Both roots reach the same node; only the root arcs differ.
+        let node_lines = dot.lines().filter(|l| l.contains("[label=\"x0\"]")).count();
+        assert_eq!(node_lines, 1, "f and ¬f must share one subgraph");
+        assert!(dot.contains("arrowhead=odot"));
     }
 }

@@ -15,9 +15,11 @@ use crate::manager::{BddManager, VarId};
 /// two handles compare [equal](PartialEq) iff they denote the same Boolean
 /// function (and live in the same store).
 ///
-/// All operations that may allocate nodes return
-/// `Result<Bdd, `[`BddError`]`>`; the only failure mode is hitting the
-/// manager's configured live-node limit.
+/// The root is a *complement edge*: a node index plus a complement bit, so
+/// [`not`](Bdd::not) is an infallible O(1) bit flip and a function shares
+/// its entire subgraph with its negation. Operations that may allocate
+/// nodes return `Result<Bdd, `[`BddError`]`>`; the only failure mode is
+/// hitting the manager's configured live-node limit.
 ///
 /// # Panics
 ///
@@ -42,12 +44,11 @@ impl Bdd {
 
     /// Logical negation ¬self.
     ///
-    /// # Errors
-    ///
-    /// Fails with [`BddError::NodeLimit`] if the manager's node limit is hit.
-    pub fn not(&self) -> Result<Bdd, BddError> {
-        let r = self.mgr.inner.borrow_mut().not(self.root)?;
-        Ok(self.mgr.wrap(r))
+    /// With complement edges this is a constant-time flip of the root's
+    /// complement bit: it never allocates a node and therefore cannot hit
+    /// the node limit — hence no `Result`.
+    pub fn not(&self) -> Bdd {
+        self.mgr.wrap(self.root ^ 1)
     }
 
     /// Conjunction self ∧ other.
@@ -233,9 +234,7 @@ impl Bdd {
     ///
     /// Fails with [`BddError::NodeLimit`] if the manager's node limit is hit.
     pub fn forall(&self, vars: &[VarId]) -> Result<Bdd, BddError> {
-        let neg = self.not()?;
-        let ex = neg.exists(vars)?;
-        ex.not()
+        Ok(self.not().exists(vars)?.not())
     }
 
     /// The set of variables this function depends on, in order.
@@ -284,11 +283,26 @@ impl Bdd {
             .map(|v| v.into_iter().map(|(a, b)| (VarId(a), b)).collect())
     }
 
-    /// The raw node index of the root (0 = ⊥, 1 = ⊤). Stable between garbage
+    /// The raw packed root edge: node index in the upper bits, complement
+    /// bit in bit 0 (so `0` = ⊤ and `1` = ⊥). Stable between garbage
     /// collections while this handle is alive; useful as a hash key for
-    /// memoized traversals.
+    /// memoized traversals. `f.raw_root() ^ 1 == f.not().raw_root()`.
     pub fn raw_root(&self) -> u32 {
         self.root
+    }
+
+    /// Whether the root edge carries the complement bit. Purely
+    /// representational: `f` and `f.not()` point at the same node, one of
+    /// them through a complemented edge.
+    pub fn is_complemented(&self) -> bool {
+        self.root & 1 == 1
+    }
+
+    /// The regular (uncomplemented) version of this edge: `self` if the
+    /// root is regular, `self.not()` otherwise. Useful for traversals that
+    /// want one representative per node.
+    pub fn regular(&self) -> Bdd {
+        self.mgr.wrap(self.root & !1)
     }
 
     /// The `(var, low, high)` triple of the root node, or `None` for
@@ -358,16 +372,16 @@ mod tests {
         assert_eq!(x.and(&one).unwrap(), x);
         assert_eq!(x.and(&zero).unwrap(), zero);
         assert_eq!(x.or(&zero).unwrap(), x);
-        assert_eq!(x.or(&x.not().unwrap()).unwrap(), one);
-        assert_eq!(x.and(&x.not().unwrap()).unwrap(), zero);
+        assert_eq!(x.or(&x.not()).unwrap(), one);
+        assert_eq!(x.and(&x.not()).unwrap(), zero);
         // Distributivity
         let lhs = x.and(&y.or(&z).unwrap()).unwrap();
         let rhs = x.and(&y).unwrap().or(&x.and(&z).unwrap()).unwrap();
         assert_eq!(lhs, rhs);
         // xor/equiv duality
-        assert_eq!(x.xor(&y).unwrap().not().unwrap(), x.equiv(&y).unwrap());
+        assert_eq!(x.xor(&y).unwrap().not(), x.equiv(&y).unwrap());
         // implies
-        assert_eq!(x.implies(&y).unwrap(), x.not().unwrap().or(&y).unwrap());
+        assert_eq!(x.implies(&y).unwrap(), x.not().or(&y).unwrap());
     }
 
     #[test]
@@ -474,7 +488,7 @@ mod tests {
     #[test]
     fn any_sat_finds_witness() {
         let (m, x, y, z) = setup3();
-        let f = x.not().unwrap().and(&y).unwrap().and(&z).unwrap();
+        let f = x.not().and(&y).unwrap().and(&z).unwrap();
         let sat = f.any_sat().unwrap();
         // Apply the witness and check.
         let mut assignment = [false; 3];
@@ -539,5 +553,19 @@ mod tests {
         assert_eq!(format!("{:?}", m.one()), "Bdd(⊤)");
         assert_eq!(format!("{:?}", m.zero()), "Bdd(⊥)");
         assert!(format!("{x:?}").starts_with("Bdd(#"));
+    }
+
+    #[test]
+    fn complement_bit_accessors() {
+        let (m, x, y, _) = setup3();
+        let f = x.and(&y).unwrap();
+        let g = f.not();
+        assert_ne!(f.is_complemented(), g.is_complemented());
+        assert_eq!(f.regular(), g.regular());
+        assert_eq!(g.raw_root(), f.raw_root() ^ 1);
+        // ⊤ is the regular terminal edge, ⊥ the complemented one.
+        assert!(!m.one().is_complemented());
+        assert!(m.zero().is_complemented());
+        assert_eq!(m.zero().regular(), m.one());
     }
 }

@@ -1,10 +1,20 @@
 //! An Ordered Binary Decision Diagram (OBDD) package.
 //!
 //! This is a from-scratch implementation of Bryant-style reduced ordered
-//! BDDs, written as the symbolic substrate of the motsim fault simulator:
+//! BDDs with **complement edges**, written as the symbolic substrate of the
+//! motsim fault simulator:
 //!
-//! - hash-consed unique table → canonical form (`f == g` is pointer equality),
-//! - recursive ITE with a computed cache,
+//! - complement-edge node encoding (CUDD-style): an edge is a node index
+//!   plus a complement bit, there is a single terminal node, negation is an
+//!   infallible O(1) bit flip ([`Bdd::not`]), and a function shares its
+//!   entire subgraph with its negation — roughly halving node counts for
+//!   the good/faulty function pairs the fault simulator builds,
+//! - canonical form (regular then-edge, enforced on node creation) →
+//!   `f == g` is pointer equality,
+//! - an open-addressed **arena unique table** (flat `Vec`, linear probing,
+//!   probe-length counters) instead of a `HashMap`,
+//! - recursive ITE with standard-triple normalization and a bounded,
+//!   hit/miss-counted direct-mapped computed cache ([`BddStats`]),
 //! - reference-counted external handles ([`Bdd`]) + mark-sweep [garbage
 //!   collection](BddManager::gc),
 //! - a configurable **live-node limit** ([`BddManager::set_node_limit`]) —
@@ -32,9 +42,9 @@
 //! let mgr = BddManager::new();
 //! let x = mgr.new_var();
 //! let y = mgr.new_var();
-//! // (x ∧ y) ∨ ¬x  ==  x → y
-//! let f = x.and(&y)?.or(&x.not()?)?;
-//! let g = x.not()?.or(&y)?;
+//! // (x ∧ y) ∨ ¬x  ==  x → y   (not() is infallible: a complement-bit flip)
+//! let f = x.and(&y)?.or(&x.not())?;
+//! let g = x.not().or(&y)?;
 //! assert_eq!(f, g); // canonical form: semantic equality is handle equality
 //! assert!(!f.is_const());
 //! # Ok(())

@@ -1,4 +1,18 @@
-//! The BDD manager: node storage, unique table, ITE, GC, node limit.
+//! The BDD manager: arena node storage, open-addressed unique table,
+//! complement edges, standard-triple ITE, GC, node limit.
+//!
+//! ## Node encoding
+//!
+//! A BDD edge is a packed `u32`: the node *index* in the upper 31 bits and a
+//! **complement bit** in bit 0 (`edge = index << 1 | complement`). There is a
+//! single terminal node at index 0; the constant ⊤ is the regular edge to it
+//! (`0`) and ⊥ is its complemented edge (`1`). Negation is therefore an O(1)
+//! bit flip that can never allocate — see [`crate::Bdd::not`].
+//!
+//! Canonical form: the *then* (high) edge of every stored node is regular.
+//! [`Inner::make_node`] enforces this by complementing both children and the
+//! returned edge when the high edge would be complemented, so `f` and `¬f`
+//! always share one subgraph and `live` counts each such pair once.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -38,24 +52,141 @@ impl fmt::Display for VarId {
     }
 }
 
-pub(crate) const FALSE: u32 = 0;
-pub(crate) const TRUE: u32 = 1;
-/// Level of terminal nodes: below every variable.
+/// The constant ⊤: regular edge to the terminal node (index 0).
+pub(crate) const TRUE: u32 = 0;
+/// The constant ⊥: complemented edge to the terminal node.
+pub(crate) const FALSE: u32 = 1;
+/// Level of the terminal node: below every variable.
 const TERM_LEVEL: u32 = u32::MAX;
 /// `var` tag for free (swept) slots.
 const FREE_SLOT: u32 = u32::MAX - 1;
 
+#[inline]
+fn index_of(edge: u32) -> usize {
+    (edge >> 1) as usize
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Node {
     var: u32,
+    /// Else edge (may be complemented).
     low: u32,
+    /// Then edge (always regular — the canonical-form invariant).
     high: u32,
+}
+
+/// Mixes a node triple into a 64-bit hash (unique table and ITE cache).
+#[inline]
+fn mix(a: u32, b: u32, c: u32) -> u64 {
+    let mut h = (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = h.rotate_left(23) ^ (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h = h.rotate_left(29) ^ (c as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    h ^= h >> 32;
+    h.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Open-addressed unique table: slots hold `node index + 1` (0 = empty),
+/// linear probing, power-of-two capacity. Node triples live in the arena,
+/// so the table itself is a flat `Vec<u32>`.
+struct UniqueTable {
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
+    lookups: u64,
+    probes: u64,
+}
+
+impl UniqueTable {
+    fn new() -> Self {
+        const INITIAL: usize = 1 << 10;
+        UniqueTable {
+            slots: vec![0; INITIAL],
+            mask: INITIAL - 1,
+            len: 0,
+            lookups: 0,
+            probes: 0,
+        }
+    }
+
+    fn needs_grow(&self) -> bool {
+        (self.len + 1) * 4 >= self.slots.len() * 3
+    }
+}
+
+/// Direct-mapped ITE computed cache: each slot holds one `(f, g, h) → r`
+/// entry and is overwritten on collision, so the cache is bounded by
+/// construction. Grows (by rehash) up to [`MAX_CACHE_SLOTS`] when half full.
+struct IteCache {
+    slots: Vec<(u32, u32, u32, u32)>,
+    mask: usize,
+    len: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Sentinel `f` marking an empty cache slot (never a real edge: it would be
+/// a complemented edge to an impossible node index).
+const CACHE_EMPTY: u32 = u32::MAX;
+const MAX_CACHE_SLOTS: usize = 1 << 20;
+
+impl IteCache {
+    fn new() -> Self {
+        const INITIAL: usize = 1 << 12;
+        IteCache {
+            slots: vec![(CACHE_EMPTY, 0, 0, 0); INITIAL],
+            mask: INITIAL - 1,
+            len: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, f: u32, g: u32, h: u32) -> Option<u32> {
+        let slot = self.slots[mix(f, g, h) as usize & self.mask];
+        if slot.0 == f && slot.1 == g && slot.2 == h {
+            self.hits += 1;
+            Some(slot.3)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn put(&mut self, f: u32, g: u32, h: u32, r: u32) {
+        if self.len * 2 >= self.slots.len() && self.slots.len() < MAX_CACHE_SLOTS {
+            let cap = self.slots.len() * 2;
+            let old = std::mem::replace(&mut self.slots, vec![(CACHE_EMPTY, 0, 0, 0); cap]);
+            self.mask = self.slots.len() - 1;
+            self.len = 0;
+            for e in old {
+                if e.0 != CACHE_EMPTY {
+                    let i = mix(e.0, e.1, e.2) as usize & self.mask;
+                    if self.slots[i].0 == CACHE_EMPTY {
+                        self.len += 1;
+                    }
+                    self.slots[i] = e;
+                }
+            }
+        }
+        let i = mix(f, g, h) as usize & self.mask;
+        if self.slots[i].0 == CACHE_EMPTY {
+            self.len += 1;
+        }
+        self.slots[i] = (f, g, h, r);
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill((CACHE_EMPTY, 0, 0, 0));
+        self.len = 0;
+    }
 }
 
 /// Aggregate statistics of a [`BddManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BddStats {
-    /// Currently live internal nodes (excluding the two terminals).
+    /// Currently live internal nodes (excluding the terminal). With
+    /// complement edges a function and its negation share one subgraph, so
+    /// each pair counts once — this is also what the node limit bounds.
     pub live_nodes: usize,
     /// High-water mark of `live_nodes`.
     pub peak_live_nodes: usize,
@@ -65,13 +196,37 @@ pub struct BddStats {
     pub gc_runs: u64,
     /// Entries currently in the ITE computed cache.
     pub cache_entries: usize,
+    /// ITE computed-cache hits.
+    pub cache_hits: u64,
+    /// ITE computed-cache misses.
+    pub cache_misses: u64,
+    /// Unique-table lookups (one per `make_node` that reaches the table).
+    pub unique_lookups: u64,
+    /// Total unique-table probe steps; `unique_probes / unique_lookups` is
+    /// the average probe length of the open-addressed table.
+    pub unique_probes: u64,
+}
+
+impl BddStats {
+    /// Computed-cache hit rate in `[0, 1]`, or `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Average unique-table probe length, or `None` before any lookup.
+    pub fn avg_probe_len(&self) -> Option<f64> {
+        (self.unique_lookups > 0).then(|| self.unique_probes as f64 / self.unique_lookups as f64)
+    }
 }
 
 pub(crate) struct Inner {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), u32>,
+    unique: UniqueTable,
+    cache: IteCache,
     free: Vec<u32>,
+    /// External refcounts, keyed by node *index* (complement-agnostic: a
+    /// handle to `¬f` protects the same subgraph as one to `f`).
     ext: HashMap<u32, usize>,
     nvars: u32,
     limit: Option<usize>,
@@ -82,22 +237,14 @@ pub(crate) struct Inner {
 
 impl Inner {
     fn new() -> Self {
-        let nodes = vec![
-            Node {
-                var: TERM_LEVEL,
-                low: FALSE,
-                high: FALSE,
-            },
-            Node {
+        Inner {
+            nodes: vec![Node {
                 var: TERM_LEVEL,
                 low: TRUE,
                 high: TRUE,
-            },
-        ];
-        Inner {
-            nodes,
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            }],
+            unique: UniqueTable::new(),
+            cache: IteCache::new(),
             free: Vec::new(),
             ext: HashMap::new(),
             nvars: 0,
@@ -109,31 +256,85 @@ impl Inner {
     }
 
     #[inline]
-    fn level(&self, n: u32) -> u32 {
-        self.nodes[n as usize].var
+    fn level(&self, edge: u32) -> u32 {
+        self.nodes[index_of(edge)].var
     }
 
+    /// Cofactors of `edge` w.r.t. variable `v`, with the complement bit
+    /// pushed down onto the children.
     #[inline]
-    fn cofactor(&self, n: u32, v: u32) -> (u32, u32) {
-        let node = self.nodes[n as usize];
+    fn cofactor(&self, edge: u32, v: u32) -> (u32, u32) {
+        let node = self.nodes[index_of(edge)];
         if node.var == v {
-            (node.low, node.high)
+            let c = edge & 1;
+            (node.low ^ c, node.high ^ c)
         } else {
-            (n, n)
+            (edge, edge)
         }
+    }
+
+    /// Orders edges for the standard-triple choice among equivalent ITE
+    /// argument forms: by level, then by node index.
+    #[inline]
+    fn edge_before(&self, a: u32, b: u32) -> bool {
+        let (la, lb) = (self.level(a), self.level(b));
+        la < lb || (la == lb && index_of(a) < index_of(b))
+    }
+
+    /// Grows the unique table (×2) and rehashes every live node from the
+    /// arena.
+    fn grow_unique(&mut self) {
+        let cap = self.slots_capacity() * 2;
+        self.unique.slots.clear();
+        self.unique.slots.resize(cap, 0);
+        self.unique.mask = cap - 1;
+        self.unique.len = 0;
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            if node.var == FREE_SLOT {
+                continue;
+            }
+            let mut slot = mix(node.var, node.low, node.high) as usize & self.unique.mask;
+            while self.unique.slots[slot] != 0 {
+                slot = (slot + 1) & self.unique.mask;
+            }
+            self.unique.slots[slot] = i as u32 + 1;
+            self.unique.len += 1;
+        }
+    }
+
+    fn slots_capacity(&self) -> usize {
+        self.unique.slots.len()
     }
 
     fn make_node(&mut self, var: u32, low: u32, high: u32) -> Result<u32, BddError> {
         if low == high {
             return Ok(low);
         }
+        // Canonical form: complement both children (and the result) so the
+        // stored then-edge is regular.
+        let c = high & 1;
+        let (low, high) = (low ^ c, high ^ c);
         debug_assert!(
             self.level(low) > var && self.level(high) > var,
             "order violated"
         );
-        let key = (var, low, high);
-        if let Some(&n) = self.unique.get(&key) {
-            return Ok(n);
+        if self.unique.needs_grow() {
+            self.grow_unique();
+        }
+        self.unique.lookups += 1;
+        let mut slot = mix(var, low, high) as usize & self.unique.mask;
+        loop {
+            self.unique.probes += 1;
+            let entry = self.unique.slots[slot];
+            if entry == 0 {
+                break;
+            }
+            let idx = (entry - 1) as usize;
+            let node = self.nodes[idx];
+            if node.var == var && node.low == low && node.high == high {
+                return Ok(((idx as u32) << 1) ^ c);
+            }
+            slot = (slot + 1) & self.unique.mask;
         }
         if let Some(limit) = self.limit {
             if self.live >= limit {
@@ -151,15 +352,16 @@ impl Inner {
                 id
             }
         };
-        self.unique.insert(key, id);
+        self.unique.slots[slot] = id + 1;
+        self.unique.len += 1;
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
-        Ok(id)
+        Ok((id << 1) ^ c)
     }
 
-    /// Allocates a fresh variable and returns its literal node (never subject
-    /// to the node limit: two-node literals are what makes recovery from a
-    /// limit hit possible at all).
+    /// Allocates a fresh variable and returns its positive literal (never
+    /// subject to the node limit: one-node literals are what makes recovery
+    /// from a limit hit possible at all).
     fn new_var(&mut self) -> (u32, u32) {
         let var = self.nvars;
         self.nvars += 1;
@@ -174,14 +376,16 @@ impl Inner {
     fn var_lit(&mut self, var: u32, positive: bool) -> u32 {
         assert!(var < self.nvars, "variable v{var} was never created");
         let saved = self.limit.take();
-        let r = if positive {
-            self.make_node(var, FALSE, TRUE)
-        } else {
-            self.make_node(var, TRUE, FALSE)
-        }
-        .expect("literal creation is unlimited");
+        let lit = self
+            .make_node(var, FALSE, TRUE)
+            .expect("literal creation is unlimited");
         self.limit = saved;
-        r
+        // The negative literal is the complement edge — no second node.
+        if positive {
+            lit
+        } else {
+            lit ^ 1
+        }
     }
 
     pub(crate) fn ite(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
@@ -198,9 +402,77 @@ impl Inner {
         if g == TRUE && h == FALSE {
             return Ok(f);
         }
-        let key = (f, g, h);
-        if let Some(&r) = self.ite_cache.get(&key) {
-            return Ok(r);
+        if g == FALSE && h == TRUE {
+            return Ok(f ^ 1);
+        }
+        let (mut f, mut g, mut h) = (f, g, h);
+        // Collapse arguments equal or complementary to f.
+        if g == f {
+            g = TRUE;
+        } else if g == f ^ 1 {
+            g = FALSE;
+        }
+        if h == f {
+            h = FALSE;
+        } else if h == f ^ 1 {
+            h = TRUE;
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == TRUE && h == FALSE {
+            return Ok(f);
+        }
+        if g == FALSE && h == TRUE {
+            return Ok(f ^ 1);
+        }
+        // Standard-triple normalization: among the equivalent argument
+        // forms, put the order-least operand first so equivalent calls
+        // collapse onto one cache entry.
+        if g == TRUE {
+            // ite(f,1,h) = f ∨ h = ite(h,1,f)
+            if self.edge_before(h, f) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if h == FALSE {
+            // ite(f,g,0) = f ∧ g = ite(g,f,0)
+            if self.edge_before(g, f) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if g == FALSE {
+            // ite(f,0,h) = ¬f ∧ h = ite(¬h,0,¬f)
+            if self.edge_before(h, f) {
+                let t = f;
+                f = h ^ 1;
+                h = t ^ 1;
+            }
+        } else if h == TRUE {
+            // ite(f,g,1) = ¬f ∨ g = ite(¬g,¬f,1)
+            if self.edge_before(g, f) {
+                let t = f;
+                f = g ^ 1;
+                g = t ^ 1;
+            }
+        } else if g == h ^ 1 {
+            // ite(f,g,¬g) = f ≡ g = ite(g,f,¬f)
+            if self.edge_before(g, f) {
+                std::mem::swap(&mut f, &mut g);
+                h = g ^ 1;
+            }
+        }
+        // Complement normalization: a regular first argument
+        // (ite(¬f,g,h) = ite(f,h,g)) and a regular second argument
+        // (ite(f,¬g,¬h) = ¬ite(f,g,h)), so each equivalence class of
+        // triples has one cache key.
+        if f & 1 == 1 {
+            f ^= 1;
+            std::mem::swap(&mut g, &mut h);
+        }
+        let flip = g & 1;
+        g ^= flip;
+        h ^= flip;
+        if let Some(r) = self.cache.get(f, g, h) {
+            return Ok(r ^ flip);
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactor(f, top);
@@ -209,12 +481,8 @@ impl Inner {
         let lo = self.ite(f0, g0, h0)?;
         let hi = self.ite(f1, g1, h1)?;
         let r = self.make_node(top, lo, hi)?;
-        self.ite_cache.insert(key, r);
-        Ok(r)
-    }
-
-    pub(crate) fn not(&mut self, f: u32) -> Result<u32, BddError> {
-        self.ite(f, FALSE, TRUE)
+        self.cache.put(f, g, h, r);
+        Ok(r ^ flip)
     }
 
     pub(crate) fn and(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
@@ -226,13 +494,11 @@ impl Inner {
     }
 
     pub(crate) fn xor(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
-        let ng = self.not(g)?;
-        self.ite(f, ng, g)
+        self.ite(f, g ^ 1, g)
     }
 
     pub(crate) fn xnor(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
-        let ng = self.not(g)?;
-        self.ite(f, g, ng)
+        self.ite(f, g, g ^ 1)
     }
 
     pub(crate) fn implies(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
@@ -244,6 +510,10 @@ impl Inner {
         self.restrict_rec(f, var, val, &mut memo)
     }
 
+    // restrict/compose/rename commute with complement, so their recursions
+    // strip the complement bit, memoize on the regular edge, and re-apply
+    // the bit on the way out — halving the memo and sharing work between a
+    // function and its negation.
     fn restrict_rec(
         &mut self,
         f: u32,
@@ -251,14 +521,16 @@ impl Inner {
         val: bool,
         memo: &mut HashMap<u32, u32>,
     ) -> Result<u32, BddError> {
-        let lvl = self.level(f);
+        let c = f & 1;
+        let n = f ^ c;
+        let lvl = self.level(n);
         if lvl > var {
             return Ok(f); // var cannot occur below (ordered)
         }
-        if let Some(&r) = memo.get(&f) {
-            return Ok(r);
+        if let Some(&r) = memo.get(&n) {
+            return Ok(r ^ c);
         }
-        let node = self.nodes[f as usize];
+        let node = self.nodes[index_of(n)];
         let r = if lvl == var {
             if val {
                 node.high
@@ -270,8 +542,8 @@ impl Inner {
             let hi = self.restrict_rec(node.high, var, val, memo)?;
             self.make_node(node.var, lo, hi)?
         };
-        memo.insert(f, r);
-        Ok(r)
+        memo.insert(n, r);
+        Ok(r ^ c)
     }
 
     pub(crate) fn compose(&mut self, f: u32, var: u32, g: u32) -> Result<u32, BddError> {
@@ -286,14 +558,16 @@ impl Inner {
         g: u32,
         memo: &mut HashMap<u32, u32>,
     ) -> Result<u32, BddError> {
-        let lvl = self.level(f);
+        let c = f & 1;
+        let n = f ^ c;
+        let lvl = self.level(n);
         if lvl > var {
             return Ok(f);
         }
-        if let Some(&r) = memo.get(&f) {
-            return Ok(r);
+        if let Some(&r) = memo.get(&n) {
+            return Ok(r ^ c);
         }
-        let node = self.nodes[f as usize];
+        let node = self.nodes[index_of(n)];
         let r = if lvl == var {
             self.ite(g, node.high, node.low)?
         } else {
@@ -304,8 +578,8 @@ impl Inner {
             let lit = self.var_lit(node.var, true);
             self.ite(lit, hi, lo)?
         };
-        memo.insert(f, r);
-        Ok(r)
+        memo.insert(n, r);
+        Ok(r ^ c)
     }
 
     /// Renames variables according to `map` (var → var), which must be
@@ -322,19 +596,21 @@ impl Inner {
         map: &HashMap<u32, u32>,
         memo: &mut HashMap<u32, u32>,
     ) -> Result<u32, BddError> {
-        if f <= TRUE {
+        let c = f & 1;
+        let n = f ^ c;
+        if n == TRUE {
             return Ok(f);
         }
-        if let Some(&r) = memo.get(&f) {
-            return Ok(r);
+        if let Some(&r) = memo.get(&n) {
+            return Ok(r ^ c);
         }
-        let node = self.nodes[f as usize];
+        let node = self.nodes[index_of(n)];
         let lo = self.rename_rec(node.low, map, memo)?;
         let hi = self.rename_rec(node.high, map, memo)?;
         let var = map.get(&node.var).copied().unwrap_or(node.var);
         let r = self.make_node(var, lo, hi)?;
-        memo.insert(f, r);
-        Ok(r)
+        memo.insert(n, r);
+        Ok(r ^ c)
     }
 
     pub(crate) fn exists(&mut self, f: u32, vars: &[u32]) -> Result<u32, BddError> {
@@ -345,13 +621,15 @@ impl Inner {
         self.exists_rec(f, &sorted, &mut memo)
     }
 
+    // Quantification does NOT commute with complement (∃x.¬f ≠ ¬∃x.f), so
+    // this recursion memoizes on the full edge, complement bit included.
     fn exists_rec(
         &mut self,
         f: u32,
         vars: &[u32],
         memo: &mut HashMap<u32, u32>,
     ) -> Result<u32, BddError> {
-        if f <= TRUE {
+        if index_of(f) == 0 {
             return Ok(f);
         }
         let lvl = self.level(f);
@@ -367,14 +645,16 @@ impl Inner {
         if let Some(&r) = memo.get(&f) {
             return Ok(r);
         }
-        let node = self.nodes[f as usize];
+        let c = f & 1;
+        let node = self.nodes[index_of(f)];
+        let (low, high) = (node.low ^ c, node.high ^ c);
         let r = if rest[0] == lvl {
-            let lo = self.exists_rec(node.low, rest, memo)?;
-            let hi = self.exists_rec(node.high, rest, memo)?;
+            let lo = self.exists_rec(low, rest, memo)?;
+            let hi = self.exists_rec(high, rest, memo)?;
             self.or(lo, hi)?
         } else {
-            let lo = self.exists_rec(node.low, rest, memo)?;
-            let hi = self.exists_rec(node.high, rest, memo)?;
+            let lo = self.exists_rec(low, rest, memo)?;
+            let hi = self.exists_rec(high, rest, memo)?;
             self.make_node(node.var, lo, hi)?
         };
         memo.insert(f, r);
@@ -382,50 +662,52 @@ impl Inner {
     }
 
     pub(crate) fn support(&self, f: u32) -> Vec<u32> {
-        let mut seen = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
         let mut vars = Vec::new();
-        let mut stack = vec![f];
-        while let Some(n) = stack.pop() {
-            if n <= TRUE || seen.contains_key(&n) {
+        let mut stack = vec![index_of(f)];
+        while let Some(i) = stack.pop() {
+            if i == 0 || !seen.insert(i) {
                 continue;
             }
-            seen.insert(n, ());
-            let node = self.nodes[n as usize];
+            let node = self.nodes[i];
             vars.push(node.var);
-            stack.push(node.low);
-            stack.push(node.high);
+            stack.push(index_of(node.low));
+            stack.push(index_of(node.high));
         }
         vars.sort_unstable();
         vars.dedup();
         vars
     }
 
+    /// Distinct internal nodes reachable from `roots`. Complement bits are
+    /// ignored: `f` and `¬f` have identical size by construction.
     pub(crate) fn size(&self, roots: &[u32]) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack: Vec<u32> = roots.to_vec();
+        let mut stack: Vec<usize> = roots.iter().map(|&r| index_of(r)).collect();
         let mut count = 0;
-        while let Some(n) = stack.pop() {
-            if n <= TRUE || !seen.insert(n) {
+        while let Some(i) = stack.pop() {
+            if i == 0 || !seen.insert(i) {
                 continue;
             }
             count += 1;
-            let node = self.nodes[n as usize];
-            stack.push(node.low);
-            stack.push(node.high);
+            let node = self.nodes[i];
+            stack.push(index_of(node.low));
+            stack.push(index_of(node.high));
         }
         count
     }
 
     pub(crate) fn eval(&self, f: u32, assignment: &[bool]) -> bool {
         let mut n = f;
-        while n > TRUE {
-            let node = self.nodes[n as usize];
+        while index_of(n) != 0 {
+            let node = self.nodes[index_of(n)];
             let v = node.var as usize;
             assert!(
                 v < assignment.len(),
                 "assignment too short: needs variable v{v}"
             );
-            n = if assignment[v] { node.high } else { node.low };
+            let child = if assignment[v] { node.high } else { node.low };
+            n = child ^ (n & 1);
         }
         n == TRUE
     }
@@ -441,6 +723,9 @@ impl Inner {
                 x << s
             }
         }
+        // The complement bit is pushed down onto the children at every
+        // step (¬(x ? h : l) = x ? ¬h : ¬l), so the memo is keyed by the
+        // full edge and the terminal cases decide the parity.
         let mut memo: HashMap<u32, u128> = HashMap::new();
         fn rec(inner: &Inner, n: u32, nvars: u32, memo: &mut HashMap<u32, u128>) -> u128 {
             if n == FALSE {
@@ -452,11 +737,12 @@ impl Inner {
             if let Some(&c) = memo.get(&n) {
                 return c;
             }
-            let node = inner.nodes[n as usize];
-            let lvl_lo = inner.level(node.low).min(nvars);
-            let lvl_hi = inner.level(node.high).min(nvars);
-            let cl = rec(inner, node.low, nvars, memo);
-            let ch = rec(inner, node.high, nvars, memo);
+            let node = inner.nodes[index_of(n)];
+            let (low, high) = (node.low ^ (n & 1), node.high ^ (n & 1));
+            let lvl_lo = inner.level(low).min(nvars);
+            let lvl_hi = inner.level(high).min(nvars);
+            let cl = rec(inner, low, nvars, memo);
+            let ch = rec(inner, high, nvars, memo);
             let c = shl_sat(cl, lvl_lo - node.var - 1)
                 .saturating_add(shl_sat(ch, lvl_hi - node.var - 1));
             memo.insert(n, c);
@@ -476,32 +762,36 @@ impl Inner {
         }
         let mut path = Vec::new();
         let mut n = f;
-        while n > TRUE {
-            let node = self.nodes[n as usize];
-            if node.high != FALSE {
+        while index_of(n) != 0 {
+            let c = n & 1;
+            let node = self.nodes[index_of(n)];
+            let high = node.high ^ c;
+            if high != FALSE {
                 path.push((node.var, true));
-                n = node.high;
+                n = high;
             } else {
                 path.push((node.var, false));
-                n = node.low;
+                n = node.low ^ c;
             }
         }
         debug_assert_eq!(n, TRUE);
         Some(path)
     }
 
-    pub(crate) fn inc_ext(&mut self, n: u32) {
-        if n > TRUE {
-            *self.ext.entry(n).or_insert(0) += 1;
+    pub(crate) fn inc_ext(&mut self, edge: u32) {
+        let i = index_of(edge) as u32;
+        if i != 0 {
+            *self.ext.entry(i).or_insert(0) += 1;
         }
     }
 
-    pub(crate) fn dec_ext(&mut self, n: u32) {
-        if n > TRUE {
-            match self.ext.get_mut(&n) {
+    pub(crate) fn dec_ext(&mut self, edge: u32) {
+        let i = index_of(edge) as u32;
+        if i != 0 {
+            match self.ext.get_mut(&i) {
                 Some(c) if *c > 1 => *c -= 1,
                 Some(_) => {
-                    self.ext.remove(&n);
+                    self.ext.remove(&i);
                 }
                 None => debug_assert!(false, "unbalanced ext deref"),
             }
@@ -510,43 +800,78 @@ impl Inner {
 
     fn gc(&mut self) -> usize {
         let mut marked = vec![false; self.nodes.len()];
-        marked[FALSE as usize] = true;
-        marked[TRUE as usize] = true;
+        marked[0] = true;
         let mut stack: Vec<u32> = self.ext.keys().copied().collect();
-        while let Some(n) = stack.pop() {
-            let i = n as usize;
+        while let Some(i) = stack.pop() {
+            let i = i as usize;
             if marked[i] {
                 continue;
             }
             marked[i] = true;
             let node = self.nodes[i];
-            stack.push(node.low);
-            stack.push(node.high);
+            stack.push(node.low >> 1);
+            stack.push(node.high >> 1);
         }
         let mut freed = 0;
-        #[allow(clippy::needless_range_loop)] // index used for both tables
-        for i in 2..self.nodes.len() {
+        #[allow(clippy::needless_range_loop)] // index is the node id
+        for i in 1..self.nodes.len() {
             if !marked[i] && self.nodes[i].var != FREE_SLOT {
-                let node = self.nodes[i];
-                self.unique.remove(&(node.var, node.low, node.high));
                 self.nodes[i].var = FREE_SLOT;
                 self.free.push(i as u32);
                 freed += 1;
             }
         }
         self.live -= freed;
-        self.ite_cache.clear();
+        // Rebuild the open-addressed unique table from the surviving arena
+        // (deleting individual entries would break linear-probe chains).
+        let cap = self.slots_capacity();
+        self.unique.slots.clear();
+        self.unique.slots.resize(cap, 0);
+        self.unique.len = 0;
+        for i in 1..self.nodes.len() {
+            let node = self.nodes[i];
+            if node.var == FREE_SLOT {
+                continue;
+            }
+            let mut slot = mix(node.var, node.low, node.high) as usize & self.unique.mask;
+            while self.unique.slots[slot] != 0 {
+                slot = (slot + 1) & self.unique.mask;
+            }
+            self.unique.slots[slot] = i as u32 + 1;
+            self.unique.len += 1;
+        }
+        self.cache.clear();
         self.gc_runs += 1;
         freed
     }
 
-    pub(crate) fn node_triple(&self, n: u32) -> Option<(u32, u32, u32)> {
-        if n <= TRUE {
+    /// `(var, low, high)` of the root with the complement bit pushed onto
+    /// the children, so the triple denotes the same function as `edge`.
+    pub(crate) fn node_triple(&self, edge: u32) -> Option<(u32, u32, u32)> {
+        if index_of(edge) == 0 {
             None
         } else {
-            let node = self.nodes[n as usize];
-            Some((node.var, node.low, node.high))
+            let c = edge & 1;
+            let node = self.nodes[index_of(edge)];
+            Some((node.var, node.low ^ c, node.high ^ c))
         }
+    }
+
+    /// Counts canonical-form violations in the arena (diagnostic; see
+    /// [`BddManager::canonical_violations`]).
+    fn canonical_violations(&self) -> usize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, n)| n.var != FREE_SLOT)
+            .filter(|(_, n)| {
+                n.high & 1 == 1 // complemented then-edge
+                    || n.low == n.high // redundant node
+                    || self.level(n.low) <= n.var // order violation
+                    || self.level(n.high) <= n.var
+            })
+            .count()
     }
 }
 
@@ -604,12 +929,12 @@ impl BddManager {
         }
     }
 
-    /// The constant ⊥.
+    /// The constant ⊥ (the complemented terminal edge).
     pub fn zero(&self) -> Bdd {
         self.wrap(FALSE)
     }
 
-    /// The constant ⊤.
+    /// The constant ⊤ (the regular terminal edge).
     pub fn one(&self) -> Bdd {
         self.wrap(TRUE)
     }
@@ -640,7 +965,8 @@ impl BddManager {
         self.wrap(lit)
     }
 
-    /// The negative literal of an existing variable.
+    /// The negative literal of an existing variable (the complement edge of
+    /// the positive literal — no extra node).
     ///
     /// # Panics
     ///
@@ -657,7 +983,10 @@ impl BddManager {
 
     /// Sets (or clears) the live-node limit. Operations that would allocate
     /// past the limit fail with [`BddError::NodeLimit`]; literal creation is
-    /// exempt. The paper's experiments use a limit of 30,000 nodes.
+    /// exempt. The paper's experiments use a limit of 30,000 nodes. Note
+    /// that with complement edges a function/negation pair occupies a
+    /// *single* subgraph, so a given limit stretches roughly twice as far
+    /// as it would in a package without them.
     pub fn set_node_limit(&self, limit: Option<usize>) {
         self.inner.borrow_mut().limit = limit;
     }
@@ -674,7 +1003,7 @@ impl BddManager {
 
     /// Runs a mark-sweep garbage collection from the externally referenced
     /// roots; returns the number of nodes reclaimed. The computed cache is
-    /// cleared.
+    /// cleared and the unique table rebuilt.
     pub fn gc(&self) -> usize {
         self.inner.borrow_mut().gc()
     }
@@ -704,8 +1033,20 @@ impl BddManager {
             peak_live_nodes: inner.peak_live,
             num_vars: inner.nvars as usize,
             gc_runs: inner.gc_runs,
-            cache_entries: inner.ite_cache.len(),
+            cache_entries: inner.cache.len,
+            cache_hits: inner.cache.hits,
+            cache_misses: inner.cache.misses,
+            unique_lookups: inner.unique.lookups,
+            unique_probes: inner.unique.probes,
         }
+    }
+
+    /// Counts stored nodes that violate the complement-edge canonical form
+    /// (complemented then-edge, redundant node, or order violation). Always
+    /// 0 for a correct implementation; exposed so integration and property
+    /// tests can assert the invariant from outside the crate.
+    pub fn canonical_violations(&self) -> usize {
+        self.inner.borrow().canonical_violations()
     }
 
     pub(crate) fn same_store(&self, other: &BddManager) -> bool {
@@ -724,6 +1065,9 @@ mod tests {
         assert!(m.zero().is_false());
         assert_ne!(m.one(), m.zero());
         assert_eq!(m.constant(true), m.one());
+        // One terminal node: ⊥ is the complement edge of ⊤.
+        assert_eq!(m.one().not(), m.zero());
+        assert_eq!(m.live_nodes(), 0);
     }
 
     #[test]
@@ -734,9 +1078,26 @@ mod tests {
         let f1 = x.and(&y).unwrap();
         let f2 = y.and(&x).unwrap();
         assert_eq!(f1, f2);
-        let g = x.or(&y).unwrap().not().unwrap();
-        let h = x.not().unwrap().and(&y.not().unwrap()).unwrap();
+        let g = x.or(&y).unwrap().not();
+        let h = x.not().and(&y.not()).unwrap();
         assert_eq!(g, h); // De Morgan, canonically
+        assert_eq!(m.canonical_violations(), 0);
+    }
+
+    #[test]
+    fn negation_is_free() {
+        let m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let f = x.xor(&y).unwrap();
+        let live = m.live_nodes();
+        let nf = f.not();
+        assert_eq!(m.live_nodes(), live, "not() must not allocate");
+        assert_eq!(nf.not(), f, "¬¬f is pointer-identical to f");
+        assert_eq!(nf.raw_root(), f.raw_root() ^ 1);
+        // A function and its complement share one subgraph.
+        assert_eq!(f.size(), nf.size());
+        assert_eq!(m.shared_size(&[&f, &nf]), f.size());
     }
 
     #[test]
@@ -744,7 +1105,8 @@ mod tests {
         let m = BddManager::new();
         let vars: Vec<Bdd> = (0..16).map(|_| m.new_var()).collect();
         m.set_node_limit(Some(8));
-        // Parity of 16 vars needs ~31 nodes: must fail.
+        // Parity of 16 vars needs ~15 nodes even with complement edges:
+        // must fail.
         let mut acc = m.zero();
         let mut failed = false;
         for v in &vars {
@@ -803,20 +1165,57 @@ mod tests {
         // And new operations still find canonical forms.
         let g = y.xor(&x).unwrap();
         assert_eq!(f, g);
+        assert_eq!(m.canonical_violations(), 0);
     }
 
     #[test]
-    fn stats_track_peak_and_gc() {
+    fn unique_table_survives_growth() {
+        // Push well past the initial table capacity and re-derive a few
+        // canonical forms: growth must not lose or duplicate nodes.
+        let m = BddManager::new();
+        let vars: Vec<Bdd> = (0..20).map(|_| m.new_var()).collect();
+        let mut acc = m.zero();
+        for v in &vars {
+            acc = acc.xor(v).unwrap();
+        }
+        let mut acc2 = m.zero();
+        for v in vars.iter().rev() {
+            acc2 = acc2.xor(v).unwrap();
+        }
+        assert_eq!(acc, acc2);
+        assert_eq!(m.canonical_violations(), 0);
+        let st = m.stats();
+        assert!(st.unique_lookups > 0);
+        assert!(st.unique_probes >= st.unique_lookups);
+    }
+
+    #[test]
+    fn stats_track_peak_gc_and_cache() {
         let m = BddManager::new();
         let x = m.new_var();
         let y = m.new_var();
-        let _f = x.and(&y).unwrap();
+        let f = x.and(&y).unwrap();
+        let _g = x.and(&y).unwrap().or(&f).unwrap();
         let st = m.stats();
         assert_eq!(st.num_vars, 2);
         assert!(st.live_nodes >= 3);
         assert!(st.peak_live_nodes >= st.live_nodes);
+        assert!(
+            st.cache_hits + st.cache_misses > 0,
+            "ite must consult the cache"
+        );
+        assert!(st.cache_hit_rate().is_some());
+        assert!(st.avg_probe_len().unwrap() >= 1.0);
         m.gc();
         assert_eq!(m.stats().gc_runs, 1);
+        assert_eq!(m.stats().cache_entries, 0, "gc clears the computed cache");
+    }
+
+    #[test]
+    fn empty_stats_rates_are_none() {
+        let st = BddManager::new().stats();
+        assert_eq!(st.cache_hit_rate(), None);
+        assert_eq!(st.avg_probe_len(), None);
     }
 
     #[test]

@@ -70,7 +70,7 @@ mod tests {
         let y = m.new_var();
         let p = product(&m, &[x.clone(), y.clone()]).unwrap();
         assert_eq!(p, x.and(&y).unwrap());
-        let q = product(&m, &[x.clone(), x.not().unwrap(), y.clone()]).unwrap();
+        let q = product(&m, &[x.clone(), x.not(), y.clone()]).unwrap();
         assert!(q.is_false());
     }
 
@@ -81,7 +81,7 @@ mod tests {
         let y = m.new_var();
         // [x ≡ ¬y]·[x ≡ y] ≡ 0 — the paper's Fig. 3 detection function.
         let a = vec![x.clone(), x.clone()];
-        let b = vec![y.not().unwrap(), y.clone()];
+        let b = vec![y.not(), y.clone()];
         let d = equiv_product(&m, &a, &b).unwrap();
         assert!(d.is_false());
         // [x ≡ y] alone is satisfiable.

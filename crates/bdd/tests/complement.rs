@@ -1,0 +1,162 @@
+//! Always-on randomized tests of the complement-edge invariants.
+//!
+//! The `proptests` feature covers the same ground with proptest shrinking,
+//! but needs network access to fetch the crate; this suite uses a tiny
+//! built-in xorshift generator so the invariants are exercised on every
+//! offline `cargo test` run too.
+
+use motsim_bdd::{Bdd, BddManager, VarId};
+
+/// xorshift64* — deterministic, dependency-free pseudo-randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const NVARS: usize = 6;
+
+/// Builds a random function and a closure evaluating its truth table.
+fn random_fn(mgr: &BddManager, rng: &mut Rng, ops: usize) -> (Bdd, Vec<bool>) {
+    // Truth-table representation alongside the BDD: `table[k]` is the value
+    // under the assignment encoded by the bits of `k`.
+    let rows = 1usize << NVARS;
+    let mut pool: Vec<(Bdd, Vec<bool>)> = (0..NVARS)
+        .map(|i| {
+            let table = (0..rows).map(|k| (k >> i) & 1 == 1).collect();
+            (mgr.var(VarId::from_index(i)), table)
+        })
+        .collect();
+    for _ in 0..ops {
+        let a = rng.below(pool.len() as u64) as usize;
+        let b = rng.below(pool.len() as u64) as usize;
+        let (fa, ta) = pool[a].clone();
+        let (fb, tb) = pool[b].clone();
+        let entry = match rng.below(4) {
+            0 => (
+                fa.and(&fb).unwrap(),
+                ta.iter().zip(&tb).map(|(x, y)| x & y).collect(),
+            ),
+            1 => (
+                fa.or(&fb).unwrap(),
+                ta.iter().zip(&tb).map(|(x, y)| x | y).collect(),
+            ),
+            2 => (
+                fa.xor(&fb).unwrap(),
+                ta.iter().zip(&tb).map(|(x, y)| x ^ y).collect(),
+            ),
+            _ => (fa.not(), ta.iter().map(|x| !x).collect()),
+        };
+        pool.push(entry);
+    }
+    pool.pop().unwrap()
+}
+
+fn assignment(k: usize) -> Vec<bool> {
+    (0..NVARS).map(|i| (k >> i) & 1 == 1).collect()
+}
+
+#[test]
+fn random_ops_keep_canonical_form() {
+    let mut rng = Rng(0xDAC95);
+    for round in 0..20 {
+        let mgr = BddManager::with_vars(NVARS);
+        let (f, table) = random_fn(&mgr, &mut rng, 30);
+        assert_eq!(
+            mgr.canonical_violations(),
+            0,
+            "round {round}: complemented then-edge or non-reduced node"
+        );
+        for (k, expect) in table.iter().enumerate() {
+            assert_eq!(f.eval(&assignment(k)), *expect, "round {round} row {k}");
+        }
+    }
+}
+
+#[test]
+fn double_negation_is_pointer_identical_and_free() {
+    let mut rng = Rng(42);
+    let mgr = BddManager::with_vars(NVARS);
+    for _ in 0..10 {
+        let (f, _) = random_fn(&mgr, &mut rng, 20);
+        let live = mgr.live_nodes();
+        let nf = f.not();
+        assert_eq!(mgr.live_nodes(), live, "not() must not allocate");
+        assert_eq!(nf.not().raw_root(), f.raw_root());
+        assert_eq!(nf.raw_root(), f.raw_root() ^ 1);
+    }
+}
+
+#[test]
+fn negation_matches_eval_on_random_assignments() {
+    let mut rng = Rng(7);
+    let mgr = BddManager::with_vars(NVARS);
+    let (f, table) = random_fn(&mgr, &mut rng, 40);
+    let nf = f.not();
+    for _ in 0..64 {
+        let k = rng.below(1 << NVARS) as usize;
+        assert_eq!(nf.eval(&assignment(k)), !table[k]);
+    }
+}
+
+#[test]
+fn sat_count_handles_complemented_roots() {
+    let mgr = BddManager::with_vars(3);
+    let x = mgr.var(VarId::from_index(0));
+    let y = mgr.var(VarId::from_index(1));
+    // ¬(x ∧ y): complemented root; 8 − 2 = 6 satisfying rows over 3 vars.
+    let f = x.and(&y).unwrap().not();
+    assert_eq!(f.sat_count(3), 6);
+    // Complement of an odd function: ¬(x ⊕ y ⊕ z) has 4 rows.
+    let z = mgr.var(VarId::from_index(2));
+    let g = x.xor(&y).unwrap().xor(&z).unwrap().not();
+    assert_eq!(g.sat_count(3), 4);
+    // Constants via complement edges.
+    assert_eq!(mgr.one().not().sat_count(3), 0);
+    assert_eq!(mgr.zero().not().sat_count(3), 8);
+}
+
+#[test]
+fn any_sat_handles_complemented_roots() {
+    let mgr = BddManager::with_vars(3);
+    let x = mgr.var(VarId::from_index(0));
+    let y = mgr.var(VarId::from_index(1));
+    let z = mgr.var(VarId::from_index(2));
+    // ¬(x ∨ y ∨ z) is satisfied only by all-false.
+    let f = x.or(&y).unwrap().or(&z).unwrap().not();
+    let path = f.any_sat().expect("satisfiable");
+    let mut a = [true; 3];
+    for (v, b) in path {
+        a[v.index()] = b;
+    }
+    // Unmentioned vars are free — but here all three must be forced false.
+    assert_eq!(a, [false; 3]);
+    assert!(f.eval(&a));
+    // A tautology through a complement edge has the empty witness.
+    let taut = x.and(&x.not()).unwrap().not();
+    assert!(taut.is_true());
+    assert_eq!(taut.any_sat().unwrap(), vec![]);
+    // And ⊥ reached via complement has none.
+    assert!(mgr.one().not().any_sat().is_none());
+}
+
+#[test]
+fn function_and_negation_share_one_subgraph() {
+    let mut rng = Rng(99);
+    let mgr = BddManager::with_vars(NVARS);
+    let (f, _) = random_fn(&mgr, &mut rng, 40);
+    let nf = f.not();
+    assert_eq!(f.size(), nf.size());
+    assert_eq!(mgr.shared_size(&[&f, &nf]), f.size());
+}

@@ -47,7 +47,7 @@ fn build(mgr: &BddManager, e: &Expr) -> Bdd {
     match e {
         Expr::Var(i) => mgr.var(VarId::from_index(*i)),
         Expr::Const(b) => mgr.constant(*b),
-        Expr::Not(a) => build(mgr, a).not().unwrap(),
+        Expr::Not(a) => build(mgr, a).not(),
         Expr::And(a, b) => build(mgr, a).and(&build(mgr, b)).unwrap(),
         Expr::Or(a, b) => build(mgr, a).or(&build(mgr, b)).unwrap(),
         Expr::Xor(a, b) => build(mgr, a).xor(&build(mgr, b)).unwrap(),
@@ -135,7 +135,7 @@ proptest! {
         let x = mgr.var(VarId::from_index(v));
         let f1 = f.restrict(VarId::from_index(v), true).unwrap();
         let f0 = f.restrict(VarId::from_index(v), false).unwrap();
-        let rebuilt = x.and(&f1).unwrap().or(&x.not().unwrap().and(&f0).unwrap()).unwrap();
+        let rebuilt = x.and(&f1).unwrap().or(&x.not().and(&f0).unwrap()).unwrap();
         prop_assert_eq!(rebuilt, f);
     }
 
@@ -198,6 +198,50 @@ proptest! {
         mgr.gc();
         for a in all_assignments() {
             prop_assert_eq!(f.eval(&a), eval(&e, &a));
+        }
+    }
+
+    /// Complement-edge canonical form: after arbitrary operations, no
+    /// stored node has a complemented then-edge (or is redundant or
+    /// order-violating).
+    #[test]
+    fn no_complemented_then_edges(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let _f = build(&mgr, &e);
+        prop_assert_eq!(mgr.canonical_violations(), 0);
+    }
+
+    /// Double negation is pointer-identical (not just semantically equal)
+    /// and negation itself allocates nothing.
+    #[test]
+    fn not_not_is_pointer_identical(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f = build(&mgr, &e);
+        let live = mgr.live_nodes();
+        let nf = f.not();
+        prop_assert_eq!(mgr.live_nodes(), live);
+        prop_assert_eq!(nf.not().raw_root(), f.raw_root());
+        for a in all_assignments() {
+            prop_assert_eq!(nf.eval(&a), !eval(&e, &a));
+        }
+    }
+
+    /// sat_count and any_sat are exact on complemented roots too.
+    #[test]
+    fn sat_count_on_complemented_root(e in arb_expr(NVARS)) {
+        let mgr = BddManager::with_vars(NVARS);
+        let nf = build(&mgr, &e).not();
+        let expect = all_assignments().filter(|a| !eval(&e, a)).count() as u128;
+        prop_assert_eq!(nf.sat_count(NVARS), expect);
+        match nf.any_sat() {
+            None => prop_assert_eq!(expect, 0),
+            Some(path) => {
+                let mut a = vec![false; NVARS];
+                for (v, b) in path {
+                    a[v.index()] = b;
+                }
+                prop_assert!(nf.eval(&a));
+            }
         }
     }
 

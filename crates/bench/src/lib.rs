@@ -93,6 +93,10 @@ pub struct StrategyCell {
     /// `true` if the hybrid simulator fell back to three-valued frames
     /// (the paper's asterisk).
     pub approximate: bool,
+    /// Peak live-node count across the run's BDD managers — the quantity
+    /// the space limit bounds, and what the complement-edge encoding
+    /// roughly halves (see EXPERIMENTS.md).
+    pub peak_nodes: usize,
 }
 
 /// One row of Table II/III (strategy comparison on the hard faults).
@@ -144,6 +148,7 @@ pub fn table23_row(
             detected: outcome.num_detected(),
             time: t0.elapsed(),
             approximate: outcome.is_approximate(),
+            peak_nodes: outcome.bdd.peak_live_nodes,
         }
     });
 

@@ -59,7 +59,10 @@ commands:
 options: --len N  --seed S  --limit NODES  --max-len N  --complete
          --static  --inject K  --output J  --no-xred  --all-nets  --compact
          --jobs N  (worker threads for sim3/strategies/xred; the result is
-                    identical for every N — see DESIGN.md §8)";
+                    identical for every N — see DESIGN.md §8)
+         --bdd-stats  (print BDD-manager usage — peak nodes, gc runs, ITE
+                       cache hit rate, unique-table probe length — after
+                       sim3/strategies/xred runs)";
 
 #[derive(Debug)]
 struct Opts {
@@ -75,6 +78,7 @@ struct Opts {
     all_nets: bool,
     compact: bool,
     jobs: usize,
+    bdd_stats: bool,
 }
 
 impl Default for Opts {
@@ -92,6 +96,7 @@ impl Default for Opts {
             all_nets: false,
             compact: false,
             jobs: 1,
+            bdd_stats: false,
         }
     }
 }
@@ -124,6 +129,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--no-xred" => o.no_xred = true,
             "--all-nets" => o.all_nets = true,
             "--compact" => o.compact = true,
+            "--bdd-stats" => o.bdd_stats = true,
             other => die(&format!("unknown option `{other}`")),
         }
         i += 1;
@@ -163,6 +169,26 @@ fn run_job(job: &motsim_engine::Job) -> motsim_engine::JobResult {
         motsim_engine::run(job)
     };
     result.unwrap_or_else(|e| die(&format!("engine failure: {e}")))
+}
+
+/// Prints the BDD usage of a run (the `--bdd-stats` flag).
+fn print_bdd_stats(bdd: &motsim::BddUsage) {
+    if bdd.unique_lookups == 0 && bdd.cache_misses == 0 {
+        println!("  bdd: no symbolic work performed");
+        return;
+    }
+    let rate = bdd
+        .cache_hit_rate()
+        .map(|r| format!("{:.1}%", 100.0 * r))
+        .unwrap_or_else(|| "n/a".to_owned());
+    let probe = bdd
+        .avg_probe_len()
+        .map(|p| format!("{p:.2}"))
+        .unwrap_or_else(|| "n/a".to_owned());
+    println!(
+        "  bdd: peak {} node(s), {} gc run(s), ite cache hit rate {}, avg unique-table probe {}",
+        bdd.peak_live_nodes, bdd.gc_runs, rate, probe
+    );
 }
 
 fn load_circuit(name: &str) -> Netlist {
@@ -299,6 +325,9 @@ fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
         "three-valued coverage (lower bound): {:.2}%",
         100.0 * outcome.num_detected() as f64 / faults.len() as f64
     );
+    if opts.bdd_stats {
+        print_bdd_stats(&outcome.bdd);
+    }
 }
 
 fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
@@ -349,6 +378,9 @@ fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
             r.units,
             r.workers
         );
+        if opts.bdd_stats {
+            print_bdd_stats(&r.outcome.bdd);
+        }
     }
 }
 
@@ -374,6 +406,10 @@ fn cmd_xred(netlist: &Netlist, opts: &Opts) {
         t0.elapsed()
     );
     println!("{} faults remain for simulation", rest.len());
+    if opts.bdd_stats {
+        // X-redundancy analysis is purely three-valued — no BDD manager.
+        print_bdd_stats(&motsim::BddUsage::default());
+    }
 }
 
 fn cmd_tgen(netlist: &Netlist, opts: &Opts) {

@@ -22,7 +22,7 @@ use motsim_netlist::Netlist;
 
 use crate::faults::Fault;
 use crate::pattern::TestSequence;
-use crate::report::{Detection, FaultOutcome, SimOutcome};
+use crate::report::{BddUsage, Detection, FaultOutcome, SimOutcome};
 use crate::sim3::FaultSim3;
 use crate::symbolic::{Strategy, SymbolicFaultSim};
 
@@ -89,6 +89,7 @@ pub fn hybrid_run(
     let mut t = 0usize;
     let mut fallback_total = 0usize;
     let mut degraded_total = 0usize;
+    let mut bdd_total = BddUsage::default();
     let mut zero_progress_phases = 0usize;
     // `None` marks the virgin all-unknown state at t = 0 (fresh variables
     // encode it exactly); `Some` carries projected states between phases.
@@ -129,7 +130,9 @@ pub fn hybrid_run(
             }
         }
         // Fold in exact per-output detection info from the phase outcome.
-        for r in sym.outcome().results {
+        let phase_outcome = sym.outcome();
+        bdd_total.absorb(&phase_outcome.bdd);
+        for r in phase_outcome.results {
             if let Some(d) = r.detection {
                 detections.insert(
                     r.fault,
@@ -189,6 +192,7 @@ pub fn hybrid_run(
         frames: seq.len(),
         fallback_frames: fallback_total,
         degraded_terms: degraded_total,
+        bdd: bdd_total,
     };
     outcome.sort_by_fault();
     outcome

@@ -83,4 +83,4 @@ pub mod xred;
 
 pub use faults::{Fault, FaultList};
 pub use pattern::TestSequence;
-pub use report::{Detection, FaultOutcome, SimOutcome};
+pub use report::{BddUsage, Detection, FaultOutcome, SimOutcome};

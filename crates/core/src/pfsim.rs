@@ -145,6 +145,7 @@ pub fn parallel_fault_run(
         frames: seq.len(),
         fallback_frames: 0,
         degraded_terms: 0,
+        bdd: Default::default(),
     };
     outcome.sort_by_fault();
     outcome

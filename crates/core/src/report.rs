@@ -3,6 +3,70 @@
 use std::fmt;
 
 use crate::faults::Fault;
+use motsim_bdd::BddStats;
+
+/// Aggregated BDD-manager usage of a simulation run.
+///
+/// Pure three-valued runs report all-zero usage. For sharded runs the
+/// per-shard usage is combined with [`BddUsage::absorb`]: since every shard
+/// runs its own manager deterministically, the aggregate is byte-identical
+/// for any worker count (the PR 1 determinism guarantee extends to these
+/// counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddUsage {
+    /// Maximum live-node count any manager reached (the quantity the
+    /// paper's 30,000-node space limit bounds). With complement edges a
+    /// function/negation pair counts once.
+    pub peak_live_nodes: usize,
+    /// Garbage collections across all managers.
+    pub gc_runs: u64,
+    /// ITE computed-cache hits.
+    pub cache_hits: u64,
+    /// ITE computed-cache misses.
+    pub cache_misses: u64,
+    /// Unique-table lookups.
+    pub unique_lookups: u64,
+    /// Total unique-table probe steps.
+    pub unique_probes: u64,
+}
+
+impl BddUsage {
+    /// Snapshot of one manager's statistics.
+    pub fn from_stats(stats: &BddStats) -> Self {
+        BddUsage {
+            peak_live_nodes: stats.peak_live_nodes,
+            gc_runs: stats.gc_runs,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            unique_lookups: stats.unique_lookups,
+            unique_probes: stats.unique_probes,
+        }
+    }
+
+    /// Combines usage from another manager (or shard): peak takes the
+    /// maximum, the counters add up.
+    pub fn absorb(&mut self, other: &BddUsage) {
+        self.peak_live_nodes = self.peak_live_nodes.max(other.peak_live_nodes);
+        self.gc_runs += other.gc_runs;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.unique_lookups += other.unique_lookups;
+        self.unique_probes += other.unique_probes;
+    }
+
+    /// Computed-cache hit rate in `[0, 1]`, or `None` when no symbolic
+    /// work was done.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Average unique-table probe length, or `None` when no symbolic work
+    /// was done.
+    pub fn avg_probe_len(&self) -> Option<f64> {
+        (self.unique_lookups > 0).then(|| self.unique_probes as f64 / self.unique_lookups as f64)
+    }
+}
 
 /// Where and when a fault was first marked detectable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +105,8 @@ pub struct SimOutcome {
     /// a term keeps the run sound (the product only grows) but makes the
     /// result a lower bound — the "less accurate MOT" trade-off of \[13\].
     pub degraded_terms: usize,
+    /// BDD-manager usage of the run (all zero for three-valued runs).
+    pub bdd: BddUsage,
 }
 
 impl SimOutcome {
@@ -110,6 +176,7 @@ impl SimOutcome {
             merged.frames = merged.frames.max(part.frames);
             merged.fallback_frames += part.fallback_frames;
             merged.degraded_terms += part.degraded_terms;
+            merged.bdd.absorb(&part.bdd);
         }
         merged.sort_by_fault();
         merged
@@ -163,6 +230,7 @@ mod tests {
             frames: 10,
             fallback_frames: 0,
             degraded_terms: 0,
+            bdd: BddUsage::default(),
         };
         assert_eq!(o.num_detected(), 2);
         assert_eq!(o.num_undetected(), 1);
@@ -180,9 +248,37 @@ mod tests {
             frames: 5,
             fallback_frames: 2,
             degraded_terms: 0,
+            bdd: BddUsage::default(),
         };
         assert!(o.is_approximate());
         assert!(o.to_string().ends_with("(*)"));
+    }
+
+    #[test]
+    fn bdd_usage_absorbs_and_rates() {
+        let mut a = BddUsage {
+            peak_live_nodes: 100,
+            gc_runs: 1,
+            cache_hits: 3,
+            cache_misses: 1,
+            unique_lookups: 10,
+            unique_probes: 15,
+        };
+        let b = BddUsage {
+            peak_live_nodes: 250,
+            gc_runs: 2,
+            cache_hits: 1,
+            cache_misses: 3,
+            unique_lookups: 10,
+            unique_probes: 10,
+        };
+        a.absorb(&b);
+        assert_eq!(a.peak_live_nodes, 250, "peak takes the max");
+        assert_eq!(a.gc_runs, 3);
+        assert_eq!(a.cache_hit_rate(), Some(0.5));
+        assert_eq!(a.avg_probe_len(), Some(1.25));
+        assert_eq!(BddUsage::default().cache_hit_rate(), None);
+        assert_eq!(BddUsage::default().avg_probe_len(), None);
     }
 
     #[test]

@@ -341,6 +341,7 @@ impl<'a> FaultSim3<'a> {
             frames: self.frame,
             fallback_frames: 0,
             degraded_terms: 0,
+            bdd: Default::default(),
         };
         outcome.sort_by_fault();
         outcome

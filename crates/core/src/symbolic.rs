@@ -34,7 +34,7 @@ use motsim_netlist::{GateKind, Lead, NetId, Netlist, NodeKind};
 
 use crate::faults::Fault;
 use crate::pattern::TestSequence;
-use crate::report::{Detection, FaultOutcome, SimOutcome};
+use crate::report::{BddUsage, Detection, FaultOutcome, SimOutcome};
 
 /// The observation time test strategy to simulate with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,14 +83,14 @@ pub fn eval_gate_bdd(mgr: &BddManager, kind: GateKind, inputs: &[Bdd]) -> Result
     };
     match kind {
         GateKind::And => fold(mgr.one(), Bdd::and),
-        GateKind::Nand => fold(mgr.one(), Bdd::and)?.not(),
+        GateKind::Nand => Ok(fold(mgr.one(), Bdd::and)?.not()),
         GateKind::Or => fold(mgr.zero(), Bdd::or),
-        GateKind::Nor => fold(mgr.zero(), Bdd::or)?.not(),
+        GateKind::Nor => Ok(fold(mgr.zero(), Bdd::or)?.not()),
         GateKind::Xor => fold(mgr.zero(), Bdd::xor),
-        GateKind::Xnor => fold(mgr.zero(), Bdd::xor)?.not(),
+        GateKind::Xnor => Ok(fold(mgr.zero(), Bdd::xor)?.not()),
         GateKind::Not => {
             assert_eq!(inputs.len(), 1, "NOT is unary");
-            inputs[0].not()
+            Ok(inputs[0].not())
         }
         GateKind::Buf => {
             assert_eq!(inputs.len(), 1, "BUFF is unary");
@@ -470,6 +470,7 @@ impl<'a> SymbolicFaultSim<'a> {
             frames: self.frame,
             fallback_frames: 0,
             degraded_terms: self.degraded_terms,
+            bdd: BddUsage::from_stats(&self.mgr.stats()),
         };
         outcome.sort_by_fault();
         outcome

@@ -163,11 +163,7 @@ impl SymbolicOutputSequence {
         {
             assert_eq!(got.len(), frame.len(), "response width mismatch");
             for (j, (o, &c)) in frame.iter().zip(got).enumerate() {
-                let term = if c {
-                    o.clone()
-                } else {
-                    o.not().expect("no limit")
-                };
+                let term = if c { o.clone() } else { o.not() };
                 product = product.and(&term).expect("no limit");
                 if product.is_false() {
                     return TestVerdict::Faulty {

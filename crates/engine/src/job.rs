@@ -100,7 +100,12 @@ impl<'a> Job<'a> {
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// The merged outcome, sorted by fault id — identical to what the
-    /// underlying engine produces sequentially over the whole fault list
+    /// underlying engine produces sequentially over the whole fault list.
+    /// Its [`bdd`](SimOutcome::bdd) field aggregates the node-budget
+    /// accounting of every per-unit manager (peak takes the max across
+    /// shards, counters sum); since each unit runs deterministically in its
+    /// own manager and the merge is unit-id ordered, the aggregate is also
+    /// byte-identical for every worker count
     /// (for [`EngineKind::Hybrid`] see the per-shard caveat in DESIGN.md §8).
     pub outcome: SimOutcome,
     /// Work units executed.
@@ -352,6 +357,30 @@ mod tests {
         // The default symbolic engine has no node limit, so this job
         // simply succeeds — what matters is both paths agree.
         assert_eq!(fail(1), fail(4));
+    }
+
+    #[test]
+    fn bdd_usage_flows_through_merge_deterministically() {
+        // Symbolic shards each run their own manager; the merged outcome
+        // must carry their aggregated node-budget accounting, and the
+        // aggregate must not depend on the worker count.
+        let (n, faults, seq) = setup(6);
+        let job = EngineKind::Hybrid(Strategy::Mot, motsim::hybrid::HybridConfig::default());
+        let run_with = |jobs: usize| {
+            run(&Job::new(&n, &seq, &faults, job).jobs(jobs).units(4))
+                .unwrap()
+                .outcome
+        };
+        let a = run_with(1);
+        let b = run_with(4);
+        assert!(a.bdd.peak_live_nodes > 0, "symbolic run must report usage");
+        assert!(a.bdd.unique_lookups > 0);
+        assert_eq!(a.bdd, b.bdd, "usage must be worker-count invariant");
+        // Three-valued runs report zero usage.
+        let tv = run(&Job::new(&n, &seq, &faults, EngineKind::Sim3).jobs(2))
+            .unwrap()
+            .outcome;
+        assert_eq!(tv.bdd, motsim::report::BddUsage::default());
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn fig3_detection_function_collapses() {
     let mgr = motsim_bdd::BddManager::new();
     let x = mgr.new_var();
     let y = mgr.new_var();
-    let t1 = x.equiv(&y.not().unwrap()).unwrap();
+    let t1 = x.equiv(&y.not()).unwrap();
     let t2 = x.equiv(&y).unwrap();
     let d = t1.and(&t2).unwrap();
     assert!(d.is_false(), "D(x,y) must be identically 0");
