@@ -30,6 +30,20 @@ smoke() {
 }
 diff <(smoke 1) <(smoke 4)
 
+echo "==> smoke: reorder-policy verdict equivalence (sift vs none)"
+# Dynamic reordering may only change *where* the hybrid falls back (and
+# how long runs take) — never a fault verdict. Strip elapsed times and the
+# approximation marker (sifting can legitimately change fallback counts),
+# then the sweeps must be byte-identical.
+reorder_sweep() {
+  for c in g27 g208 g298; do
+    cargo run --release -q -p motsim-cli --bin motsim -- \
+      strategies "$c" --len 40 --limit 30000 --reorder "$1" --jobs 2 2>/dev/null |
+      sed -e 's/ in .*//' -e 's/ (\*)//'
+  done
+}
+diff <(reorder_sweep none) <(reorder_sweep sift)
+
 # The proptest suites need the external `proptest` crate (network access to
 # fetch), so they are opt-in: MOTSIM_PROPTESTS=1 ./ci.sh
 if [ "${MOTSIM_PROPTESTS:-0}" = "1" ]; then

@@ -184,9 +184,12 @@ impl Bdd {
     /// Renames variables according to `map` (pairs `(from, to)`).
     ///
     /// The map, extended with the identity outside its domain, must be
-    /// strictly order-preserving on the support of `self`; this makes the
-    /// rename a single linear-time traversal. The MOT substitution
-    /// `x_i → y_i` satisfies this under the interleaved variable order.
+    /// strictly order-preserving (in current *levels*, not ids) on the
+    /// support of `self`; this makes the rename a single linear-time
+    /// traversal. The MOT substitution `x_i → y_i` satisfies this under the
+    /// interleaved variable order, and stays valid under dynamic reordering
+    /// because [`BddManager::sift`](crate::BddManager::sift) moves each
+    /// `(x_i, y_i)` pair as a rigid group.
     ///
     /// # Errors
     ///
@@ -201,14 +204,14 @@ impl Bdd {
         // Validate monotonicity on the support.
         {
             let inner = self.mgr.inner.borrow();
-            let support = inner.support(self.root);
+            let support = inner.support(self.root); // sorted by level
             let images: Vec<u32> = support
                 .iter()
                 .map(|v| m.get(v).copied().unwrap_or(*v))
                 .collect();
             for w in images.windows(2) {
                 assert!(
-                    w[0] < w[1],
+                    inner.var_level(w[0]) < inner.var_level(w[1]),
                     "rename map is not strictly order-preserving on the support"
                 );
             }
@@ -237,7 +240,9 @@ impl Bdd {
         Ok(self.not().exists(vars)?.not())
     }
 
-    /// The set of variables this function depends on, in order.
+    /// The set of variables this function depends on, sorted by their
+    /// current level (identical to id order until the first
+    /// [`BddManager::sift`](crate::BddManager::sift)).
     pub fn support(&self) -> Vec<VarId> {
         self.mgr
             .inner

@@ -23,11 +23,18 @@
 //! - [monotone variable renaming](Bdd::rename) (a single linear traversal;
 //!   used for the MOT substitution `x_i → y_i` under an interleaved order),
 //! - [compose](Bdd::compose), [quantification](Bdd::exists), restriction,
-//!   evaluation, satisfy-count, DOT export.
+//!   evaluation, satisfy-count, DOT export,
+//! - **dynamic variable reordering by sifting** ([`BddManager::sift`]):
+//!   in-place Rudell-style adjacent-level swaps that preserve every
+//!   outstanding handle and the complement-edge canonical form, with
+//!   support for rigid variable *groups* (MOT's interleaved `(x, y)` rename
+//!   pairs must move as a unit to keep [`Bdd::rename`] order-valid).
 //!
-//! The variable order is the creation order of [`BddManager::new_var`];
-//! dynamic reordering is intentionally out of scope (the paper's package
-//! has a fixed order too).
+//! The initial variable order is the creation order of
+//! [`BddManager::new_var`]; a [`VarId`] is a stable *name*, and its current
+//! position is [`BddManager::var_level`]. The paper's package used a fixed
+//! order — its only answer to node-limit pressure was the lossy three-valued
+//! fallback; sifting gives the engines a reorder-before-fallback option.
 //!
 //! Managers and handles are single-threaded by design (`!Send`/`!Sync` —
 //! they share one reference-counted node store); run one manager per

@@ -24,13 +24,16 @@ use crate::handle::Bdd;
 
 /// Identifier of a BDD variable.
 ///
-/// Variables are totally ordered by creation order ([`BddManager::new_var`]);
-/// the order is fixed for the lifetime of the manager.
+/// Variables start out ordered by creation order ([`BddManager::new_var`]),
+/// but the id is a stable *name*, not a position: dynamic reordering
+/// ([`BddManager::sift`]) permutes the variable *levels* while every `VarId`
+/// (and every [`Bdd`] handle) keeps denoting the same thing. Use
+/// [`BddManager::var_level`] for the current position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
-    /// The dense index (= order level) of the variable.
+    /// The dense creation index of the variable (stable under reordering).
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -183,6 +186,7 @@ impl IteCache {
 
 /// Aggregate statistics of a [`BddManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct BddStats {
     /// Currently live internal nodes (excluding the terminal). With
     /// complement edges a function and its negation share one subgraph, so
@@ -205,6 +209,10 @@ pub struct BddStats {
     /// Total unique-table probe steps; `unique_probes / unique_lookups` is
     /// the average probe length of the open-addressed table.
     pub unique_probes: u64,
+    /// Sifting passes run ([`BddManager::sift`]).
+    pub reorder_runs: u64,
+    /// Adjacent-level swaps performed across all sifting passes.
+    pub reorder_swaps: u64,
 }
 
 impl BddStats {
@@ -229,10 +237,16 @@ pub(crate) struct Inner {
     /// handle to `¬f` protects the same subgraph as one to `f`).
     ext: HashMap<u32, usize>,
     nvars: u32,
+    /// Level (order position) of each variable, indexed by var id.
+    var2level: Vec<u32>,
+    /// Variable id at each level — the inverse permutation of `var2level`.
+    level2var: Vec<u32>,
     limit: Option<usize>,
     live: usize,
     peak_live: usize,
     gc_runs: u64,
+    reorder_runs: u64,
+    reorder_swaps: u64,
 }
 
 impl Inner {
@@ -248,16 +262,31 @@ impl Inner {
             free: Vec::new(),
             ext: HashMap::new(),
             nvars: 0,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
             limit: None,
             live: 0,
             peak_live: 0,
             gc_runs: 0,
+            reorder_runs: 0,
+            reorder_swaps: 0,
+        }
+    }
+
+    /// Current order position of `var`. The sentinels [`TERM_LEVEL`] and
+    /// [`FREE_SLOT`] map to themselves, keeping them below every real level.
+    #[inline]
+    pub(crate) fn var_level(&self, var: u32) -> u32 {
+        if var < self.nvars {
+            self.var2level[var as usize]
+        } else {
+            var
         }
     }
 
     #[inline]
     fn level(&self, edge: u32) -> u32 {
-        self.nodes[index_of(edge)].var
+        self.var_level(self.nodes[index_of(edge)].var)
     }
 
     /// Cofactors of `edge` w.r.t. variable `v`, with the complement bit
@@ -315,7 +344,7 @@ impl Inner {
         let c = high & 1;
         let (low, high) = (low ^ c, high ^ c);
         debug_assert!(
-            self.level(low) > var && self.level(high) > var,
+            self.level(low) > self.var_level(var) && self.level(high) > self.var_level(var),
             "order violated"
         );
         if self.unique.needs_grow() {
@@ -365,6 +394,9 @@ impl Inner {
     fn new_var(&mut self) -> (u32, u32) {
         let var = self.nvars;
         self.nvars += 1;
+        // A fresh variable takes the bottom level of the current order.
+        self.var2level.push(self.level2var.len() as u32);
+        self.level2var.push(var);
         let saved = self.limit.take();
         let lit = self
             .make_node(var, FALSE, TRUE)
@@ -475,12 +507,13 @@ impl Inner {
             return Ok(r ^ flip);
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
-        let (f0, f1) = self.cofactor(f, top);
-        let (g0, g1) = self.cofactor(g, top);
-        let (h0, h1) = self.cofactor(h, top);
+        let top_var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactor(f, top_var);
+        let (g0, g1) = self.cofactor(g, top_var);
+        let (h0, h1) = self.cofactor(h, top_var);
         let lo = self.ite(f0, g0, h0)?;
         let hi = self.ite(f1, g1, h1)?;
-        let r = self.make_node(top, lo, hi)?;
+        let r = self.make_node(top_var, lo, hi)?;
         self.cache.put(f, g, h, r);
         Ok(r ^ flip)
     }
@@ -524,14 +557,14 @@ impl Inner {
         let c = f & 1;
         let n = f ^ c;
         let lvl = self.level(n);
-        if lvl > var {
+        if lvl > self.var_level(var) {
             return Ok(f); // var cannot occur below (ordered)
         }
         if let Some(&r) = memo.get(&n) {
             return Ok(r ^ c);
         }
         let node = self.nodes[index_of(n)];
-        let r = if lvl == var {
+        let r = if node.var == var {
             if val {
                 node.high
             } else {
@@ -561,14 +594,14 @@ impl Inner {
         let c = f & 1;
         let n = f ^ c;
         let lvl = self.level(n);
-        if lvl > var {
+        if lvl > self.var_level(var) {
             return Ok(f);
         }
         if let Some(&r) = memo.get(&n) {
             return Ok(r ^ c);
         }
         let node = self.nodes[index_of(n)];
-        let r = if lvl == var {
+        let r = if node.var == var {
             self.ite(g, node.high, node.low)?
         } else {
             let lo = self.compose_rec(node.low, var, g, memo)?;
@@ -615,7 +648,9 @@ impl Inner {
 
     pub(crate) fn exists(&mut self, f: u32, vars: &[u32]) -> Result<u32, BddError> {
         let mut sorted: Vec<u32> = vars.to_vec();
-        sorted.sort_unstable();
+        // The recursion peels quantified variables off top-down, so they are
+        // sorted by *level* (current order position), not by id.
+        sorted.sort_unstable_by_key(|&v| self.var_level(v));
         sorted.dedup();
         let mut memo = HashMap::new();
         self.exists_rec(f, &sorted, &mut memo)
@@ -636,7 +671,7 @@ impl Inner {
         // Drop quantified vars above the current level; if none remain at or
         // below, f is unchanged.
         let rest: &[u32] = {
-            let start = vars.partition_point(|&v| v < lvl);
+            let start = vars.partition_point(|&v| self.var_level(v) < lvl);
             &vars[start..]
         };
         if rest.is_empty() {
@@ -648,7 +683,7 @@ impl Inner {
         let c = f & 1;
         let node = self.nodes[index_of(f)];
         let (low, high) = (node.low ^ c, node.high ^ c);
-        let r = if rest[0] == lvl {
+        let r = if self.var_level(rest[0]) == lvl {
             let lo = self.exists_rec(low, rest, memo)?;
             let hi = self.exists_rec(high, rest, memo)?;
             self.or(lo, hi)?
@@ -661,6 +696,8 @@ impl Inner {
         Ok(r)
     }
 
+    /// Variables `f` depends on, sorted by their current *level* (the order
+    /// they appear along any root-to-terminal path).
     pub(crate) fn support(&self, f: u32) -> Vec<u32> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = Vec::new();
@@ -674,7 +711,7 @@ impl Inner {
             stack.push(index_of(node.low));
             stack.push(index_of(node.high));
         }
-        vars.sort_unstable();
+        vars.sort_unstable_by_key(|&v| self.var_level(v));
         vars.dedup();
         vars
     }
@@ -726,8 +763,34 @@ impl Inner {
         // The complement bit is pushed down onto the children at every
         // step (¬(x ? h : l) = x ? ¬h : ¬l), so the memo is keyed by the
         // full edge and the terminal cases decide the parity.
+        //
+        // With dynamic reordering the "free variables skipped between a node
+        // and its child" is a count of *counted* variables (id < nvars)
+        // between their levels. `rank[l]` precomputes how many sit at levels
+        // above l; counted variables that were never created have no level
+        // and are ranked with the terminal (they are free everywhere, so
+        // their position does not matter).
+        let mn = self.nvars as usize;
+        let mut rank = vec![0u32; mn + 1];
+        for l in 0..mn {
+            rank[l + 1] = rank[l] + u32::from(self.level2var[l] < nvars);
+        }
+        fn rank_of(inner: &Inner, edge: u32, nvars: u32, rank: &[u32]) -> u32 {
+            let lvl = inner.level(edge) as usize;
+            if lvl < rank.len() - 1 {
+                rank[lvl]
+            } else {
+                nvars
+            }
+        }
         let mut memo: HashMap<u32, u128> = HashMap::new();
-        fn rec(inner: &Inner, n: u32, nvars: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        fn rec(
+            inner: &Inner,
+            n: u32,
+            nvars: u32,
+            rank: &[u32],
+            memo: &mut HashMap<u32, u128>,
+        ) -> u128 {
             if n == FALSE {
                 return 0;
             }
@@ -739,21 +802,20 @@ impl Inner {
             }
             let node = inner.nodes[index_of(n)];
             let (low, high) = (node.low ^ (n & 1), node.high ^ (n & 1));
-            let lvl_lo = inner.level(low).min(nvars);
-            let lvl_hi = inner.level(high).min(nvars);
-            let cl = rec(inner, low, nvars, memo);
-            let ch = rec(inner, high, nvars, memo);
-            let c = shl_sat(cl, lvl_lo - node.var - 1)
-                .saturating_add(shl_sat(ch, lvl_hi - node.var - 1));
+            let here = rank[inner.var2level[node.var as usize] as usize];
+            let cl = rec(inner, low, nvars, rank, memo);
+            let ch = rec(inner, high, nvars, rank, memo);
+            let c = shl_sat(cl, rank_of(inner, low, nvars, rank) - here - 1)
+                .saturating_add(shl_sat(ch, rank_of(inner, high, nvars, rank) - here - 1));
             memo.insert(n, c);
             c
         }
-        let top = self.level(f).min(nvars);
-        shl_sat(rec(self, f, nvars, &mut memo), top)
+        let top = rank_of(self, f, nvars, &rank);
+        shl_sat(rec(self, f, nvars, &rank, &mut memo), top)
     }
 
     fn min_var_bound(&self, f: u32) -> u32 {
-        self.support(f).last().map(|&v| v + 1).unwrap_or(0)
+        self.support(f).iter().map(|&v| v + 1).max().unwrap_or(0)
     }
 
     pub(crate) fn any_sat(&self, f: u32) -> Option<Vec<(u32, bool)>> {
@@ -868,10 +930,227 @@ impl Inner {
             .filter(|(_, n)| {
                 n.high & 1 == 1 // complemented then-edge
                     || n.low == n.high // redundant node
-                    || self.level(n.low) <= n.var // order violation
-                    || self.level(n.high) <= n.var
+                    || self.level(n.low) <= self.var_level(n.var) // order violation
+                    || self.level(n.high) <= self.var_level(n.var)
             })
             .count()
+    }
+
+    /// Swaps the variables at adjacent levels `l` and `l + 1` in place
+    /// (Rudell's swap). Only nodes labelled with the upper variable that
+    /// actually depend on the lower one are rewritten, and they are rewritten
+    /// *at their arena index*, so every external edge — handles, other nodes'
+    /// children, cached results — keeps denoting the same function.
+    ///
+    /// Canonicity is preserved without fixups: a rewritten node's new
+    /// then-cofactor is reached through then-edges only, which are regular by
+    /// the canonical form, so the rewritten then-edge is regular too.
+    fn swap_adjacent(&mut self, l: usize) {
+        let u = self.level2var[l];
+        let v = self.level2var[l + 1];
+        // Collect the nodes that change shape *before* touching the level
+        // maps: nodes labelled `u` with a `v`-topped child. Everything else
+        // is already in canonical form under the new order.
+        let affected: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, n)| {
+                n.var == u
+                    && (self.nodes[index_of(n.low)].var == v
+                        || self.nodes[index_of(n.high)].var == v)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        self.var2level.swap(u as usize, v as usize);
+        self.level2var.swap(l, l + 1);
+        self.reorder_swaps += 1;
+        if affected.is_empty() {
+            return;
+        }
+        // The rewrite allocates transient nodes and must never fail, so the
+        // node limit is lifted for its duration (same idiom as literals).
+        let saved = self.limit.take();
+        for i in affected {
+            let n = self.nodes[i];
+            // Cofactor matrix of the function at `i` w.r.t. (u, v). The
+            // stored then-edge is regular; a complement bit on the else-edge
+            // is pushed down onto *its* children.
+            let (f00, f01) = self.cofactor(n.low, v);
+            let (f10, f11) = self.cofactor(n.high, v);
+            let new_low = self
+                .make_node(u, f00, f10)
+                .expect("swap rewrite is unlimited");
+            let new_high = self
+                .make_node(u, f01, f11)
+                .expect("swap rewrite is unlimited");
+            debug_assert_eq!(new_high & 1, 0, "then-edge must stay regular");
+            debug_assert_ne!(new_low, new_high, "rewritten node cannot be redundant");
+            self.nodes[i] = Node {
+                var: v,
+                low: new_low,
+                high: new_high,
+            };
+        }
+        self.limit = saved;
+        // The in-place rewrite leaves stale unique-table entries (the old
+        // triples of the rewritten nodes) and may orphan their old children;
+        // one collection rebuilds the table, reclaims the dead nodes and
+        // restores an exact `live` count. It also clears the computed cache
+        // (whose entries are still *semantically* valid, but cheap to refill
+        // compared to auditing them).
+        self.gc();
+    }
+
+    /// Swaps the block of `t` levels starting at `s` with the block of `u`
+    /// levels directly below it, preserving the internal order of both.
+    fn swap_blocks(&mut self, s: usize, t: usize, u: usize) {
+        for i in (0..t).rev() {
+            for k in 0..u {
+                self.swap_adjacent(s + i + k);
+            }
+        }
+    }
+
+    /// One sifting pass (Rudell). Each block of variables is moved through
+    /// every position in the order — down to the bottom, up to the top — and
+    /// parked where the manager was smallest; ties keep the earlier position.
+    ///
+    /// `groups` lists variables that must move as one rigid block, e.g. MOT's
+    /// interleaved `(x, y)` rename pairs, whose relative order Lemma 1's
+    /// rename `o^f(x,t) → o^f(y,t)` depends on: each group must occupy
+    /// contiguous levels on entry and keeps both its contiguity and internal
+    /// order at every candidate position. Variables in no group sift as
+    /// singletons. A direction is abandoned when the manager grows past
+    /// `max_growth` × its size at the start of that block's sift.
+    ///
+    /// Returns the number of live nodes shed by the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group names an unknown or duplicate variable or is not
+    /// contiguous in the current order.
+    fn sift(&mut self, groups: &[Vec<u32>], max_growth: f64) -> usize {
+        let nvars = self.nvars as usize;
+        self.reorder_runs += 1;
+        // Exact baseline: drop dead nodes so `live` measures real pressure.
+        self.gc();
+        let start_live = self.live;
+        if nvars < 2 {
+            return 0;
+        }
+        // Block id per variable: caller groups first, singletons after.
+        let mut block_of: Vec<u32> = vec![u32::MAX; nvars];
+        for (gi, g) in groups.iter().enumerate() {
+            let mut lvls: Vec<u32> = Vec::with_capacity(g.len());
+            for &var in g {
+                assert!(
+                    (var as usize) < nvars,
+                    "sift group names unknown variable v{var}"
+                );
+                assert_eq!(
+                    block_of[var as usize],
+                    u32::MAX,
+                    "variable v{var} appears in two sift groups"
+                );
+                block_of[var as usize] = gi as u32;
+                lvls.push(self.var2level[var as usize]);
+            }
+            lvls.sort_unstable();
+            assert!(
+                lvls.windows(2).all(|w| w[1] == w[0] + 1),
+                "sift group must occupy contiguous levels \
+                 (e.g. an interleaved MOT (x, y) pair)"
+            );
+        }
+        let mut next_block = groups.len() as u32;
+        for b in block_of.iter_mut() {
+            if *b == u32::MAX {
+                *b = next_block;
+                next_block += 1;
+            }
+        }
+        // Current layout: block ids in level order, with their widths.
+        let mut layout: Vec<u32> = Vec::new();
+        for l in 0..nvars {
+            let b = block_of[self.level2var[l] as usize];
+            if layout.last() != Some(&b) {
+                layout.push(b);
+            }
+        }
+        let width = |id: u32| block_of.iter().filter(|&&b| b == id).count();
+        debug_assert_eq!(layout.iter().map(|&b| width(b)).sum::<usize>(), nvars);
+        // Process blocks by descending node population (their level's pull on
+        // the graph), tie-broken by smallest member variable for determinism.
+        let mut population: Vec<usize> = vec![0; next_block as usize];
+        for n in self.nodes.iter().skip(1) {
+            if n.var != FREE_SLOT {
+                population[block_of[n.var as usize] as usize] += 1;
+            }
+        }
+        let min_var = |id: u32| {
+            block_of
+                .iter()
+                .position(|&b| b == id)
+                .expect("block has a member")
+        };
+        let mut order: Vec<u32> = layout.clone();
+        order.sort_by_key(|&b| (std::cmp::Reverse(population[b as usize]), min_var(b)));
+
+        for moved in order {
+            let bound = (self.live as f64 * max_growth).ceil() as usize + 16;
+            let start_level =
+                |layout: &[u32], p: usize| -> usize { layout[..p].iter().map(|&b| width(b)).sum() };
+            let home = layout.iter().position(|&b| b == moved).expect("in layout");
+            let mut p = home;
+            // Strict `<` below keeps the earliest position on ties, and
+            // `home` is recorded first — an equal-sized move never wins.
+            let mut best = (self.live, home);
+            // Down to the bottom, abandoning on growth past the bound.
+            while p + 1 < layout.len() {
+                let s = start_level(&layout, p);
+                self.swap_blocks(s, width(layout[p]), width(layout[p + 1]));
+                layout.swap(p, p + 1);
+                p += 1;
+                if self.live < best.0 {
+                    best = (self.live, p);
+                }
+                if self.live > bound {
+                    break;
+                }
+            }
+            // Back up through home to the top. Positions at or below `home`
+            // were already visited (revisiting a layout reproduces its exact
+            // size), so the growth bound only cuts off the unexplored part
+            // above home.
+            while p > 0 {
+                let s = start_level(&layout, p - 1);
+                self.swap_blocks(s, width(layout[p - 1]), width(layout[p]));
+                layout.swap(p - 1, p);
+                p -= 1;
+                if self.live < best.0 {
+                    best = (self.live, p);
+                }
+                if p < home && self.live > bound {
+                    break;
+                }
+            }
+            // Park at the best recorded position (either side of p).
+            while p < best.1 {
+                let s = start_level(&layout, p);
+                self.swap_blocks(s, width(layout[p]), width(layout[p + 1]));
+                layout.swap(p, p + 1);
+                p += 1;
+            }
+            while p > best.1 {
+                let s = start_level(&layout, p - 1);
+                self.swap_blocks(s, width(layout[p - 1]), width(layout[p]));
+                layout.swap(p - 1, p);
+                p -= 1;
+            }
+        }
+        start_live.saturating_sub(self.live)
     }
 }
 
@@ -1038,7 +1317,63 @@ impl BddManager {
             cache_misses: inner.cache.misses,
             unique_lookups: inner.unique.lookups,
             unique_probes: inner.unique.probes,
+            reorder_runs: inner.reorder_runs,
+            reorder_swaps: inner.reorder_swaps,
         }
+    }
+
+    /// Current order position of `v` (level 0 is outermost). Starts equal to
+    /// [`VarId::index`] and diverges once [`sift`](Self::sift) runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never created by this manager.
+    pub fn var_level(&self, v: VarId) -> usize {
+        let inner = self.inner.borrow();
+        assert!(v.0 < inner.nvars, "variable v{} was never created", v.0);
+        inner.var2level[v.0 as usize] as usize
+    }
+
+    /// The current variable order, outermost (level 0) first.
+    pub fn current_order(&self) -> Vec<VarId> {
+        self.inner
+            .borrow()
+            .level2var
+            .iter()
+            .map(|&v| VarId(v))
+            .collect()
+    }
+
+    /// Runs one sifting pass of dynamic variable reordering (Rudell): each
+    /// variable — or rigid *group* of variables — is trial-moved through
+    /// every level and parked where the manager held the fewest live nodes.
+    /// All outstanding [`Bdd`] handles keep denoting the same functions; only
+    /// the shape of the shared graph changes.
+    ///
+    /// `groups` lists variables that must keep their relative order and
+    /// adjacency, e.g. the interleaved `(x, y)` state-variable pairs whose
+    /// order the MOT rename `o^f(x,t) → o^f(y,t)` (Lemma 1) relies on. Each
+    /// group must occupy contiguous levels when the pass starts; ungrouped
+    /// variables sift independently. `max_growth` bounds how far the graph
+    /// may transiently grow (relative to its size when the enclosing block's
+    /// sift began) before a search direction is abandoned; `1.2` is a
+    /// conventional choice.
+    ///
+    /// The computed cache is invalidated and dead nodes are collected as a
+    /// side effect, so the pass never fails: the node limit (if any) does not
+    /// apply to the transient nodes a swap allocates. Returns the number of
+    /// live nodes shed by the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group names an unknown or duplicate variable, or is not
+    /// contiguous in the current order.
+    pub fn sift(&self, groups: &[Vec<VarId>], max_growth: f64) -> usize {
+        let raw: Vec<Vec<u32>> = groups
+            .iter()
+            .map(|g| g.iter().map(|v| v.0).collect())
+            .collect();
+        self.inner.borrow_mut().sift(&raw, max_growth)
     }
 
     /// Counts stored nodes that violate the complement-edge canonical form
@@ -1240,5 +1575,115 @@ mod tests {
         let m = BddManager::new();
         assert!(!format!("{m:?}").is_empty());
         assert!(!format!("{}", VarId(2)).is_empty());
+    }
+
+    /// The classic sifting win: Σ aᵢ∧bᵢ under the order a0 a1 a2 b0 b1 b2 is
+    /// quadratic; pairing the levels makes it linear. One pass must find the
+    /// paired order, keep every handle denoting the same function, and leave
+    /// the arena canonical.
+    #[test]
+    fn sift_shrinks_disjoint_cover_and_preserves_semantics() {
+        let m = BddManager::new();
+        let a: Vec<Bdd> = (0..3).map(|_| m.new_var()).collect();
+        let b: Vec<Bdd> = (0..3).map(|_| m.new_var()).collect();
+        let mut f = m.zero();
+        for i in 0..3 {
+            f = f.or(&a[i].and(&b[i]).unwrap()).unwrap();
+        }
+        m.gc();
+        let before = f.size();
+        let count_before = f.sat_count(6);
+        let freed = m.sift(&[], 1.2);
+        assert!(freed > 0, "sifting must shed nodes on the bad order");
+        assert!(f.size() < before, "{} !< {before}", f.size());
+        assert_eq!(m.canonical_violations(), 0);
+        // `eval` indexes by stable var id, so the truth table is an
+        // order-independent oracle.
+        for bits in 0u32..64 {
+            let asg: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let expect = (0..3).any(|i| asg[i] && asg[i + 3]);
+            assert_eq!(f.eval(&asg), expect, "assignment {bits:06b}");
+        }
+        assert_eq!(f.sat_count(6), count_before);
+        let st = m.stats();
+        assert_eq!(st.reorder_runs, 1);
+        assert!(st.reorder_swaps > 0);
+        // var2level/level2var stay inverse permutations.
+        let order = m.current_order();
+        assert_eq!(order.len(), 6);
+        for (lvl, v) in order.iter().enumerate() {
+            assert_eq!(m.var_level(*v), lvl);
+        }
+        // New variables still go to the bottom of the *current* order.
+        let z = m.new_var();
+        assert_eq!(m.var_level(z.top_var().unwrap()), 6);
+    }
+
+    #[test]
+    fn sift_moves_groups_as_rigid_blocks() {
+        // Interleaved (x, y) pairs in creation order; functions chosen so an
+        // ungrouped sifter would want to tear the pairs apart.
+        let m = BddManager::new();
+        let vars: Vec<Bdd> = (0..8).map(|_| m.new_var()).collect();
+        let pairs: Vec<Vec<VarId>> = (0..4)
+            .map(|i| {
+                vec![
+                    vars[2 * i].top_var().unwrap(),
+                    vars[2 * i + 1].top_var().unwrap(),
+                ]
+            })
+            .collect();
+        // Link x of pair i with y of pair 3-i to create reorder pressure.
+        let mut f = m.zero();
+        for i in 0..4 {
+            f = f
+                .or(&vars[2 * i].and(&vars[2 * (3 - i) + 1]).unwrap())
+                .unwrap();
+        }
+        m.sift(&pairs, 1.5);
+        assert_eq!(m.canonical_violations(), 0);
+        for p in &pairs {
+            assert_eq!(
+                m.var_level(p[1]),
+                m.var_level(p[0]) + 1,
+                "pair {p:?} no longer interleaved"
+            );
+        }
+        for bits in 0u32..256 {
+            let asg: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+            let expect = (0..4).any(|i| asg[2 * i] && asg[2 * (3 - i) + 1]);
+            assert_eq!(f.eval(&asg), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn sift_rejects_non_contiguous_group() {
+        let m = BddManager::with_vars(4);
+        let order = m.current_order();
+        m.sift(&[vec![order[0], order[2]]], 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two sift groups")]
+    fn sift_rejects_duplicate_group_member() {
+        let m = BddManager::with_vars(2);
+        let order = m.current_order();
+        m.sift(&[vec![order[0]], vec![order[0]]], 1.2);
+    }
+
+    #[test]
+    fn sift_is_deterministic() {
+        let build = || {
+            let m = BddManager::new();
+            let vars: Vec<Bdd> = (0..6).map(|_| m.new_var()).collect();
+            let mut f = m.zero();
+            for i in 0..3 {
+                f = f.or(&vars[i].and(&vars[i + 3]).unwrap()).unwrap();
+            }
+            m.sift(&[], 1.2);
+            (m.current_order(), f.size())
+        };
+        assert_eq!(build(), build());
     }
 }

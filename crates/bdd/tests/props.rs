@@ -264,4 +264,54 @@ proptest! {
             );
         }
     }
+
+    /// Dynamic reordering is invisible at the function level: after any
+    /// number of sift passes (with arbitrary growth bounds), every handle
+    /// still computes its original truth table, sat_count is unchanged, and
+    /// the arena stays canonical.
+    #[test]
+    fn sift_preserves_semantics(
+        e1 in arb_expr(NVARS),
+        e2 in arb_expr(NVARS),
+        growths in proptest::collection::vec(1.0f64..2.0, 1..4),
+    ) {
+        let mgr = BddManager::with_vars(NVARS);
+        let f1 = build(&mgr, &e1);
+        let f2 = build(&mgr, &e2);
+        let count = f1.sat_count(NVARS);
+        for g in growths {
+            mgr.sift(&[], g);
+            prop_assert_eq!(mgr.canonical_violations(), 0);
+            for a in all_assignments() {
+                prop_assert_eq!(f1.eval(&a), eval(&e1, &a));
+                prop_assert_eq!(f2.eval(&a), eval(&e2, &a));
+            }
+            prop_assert_eq!(f1.sat_count(NVARS), count);
+        }
+    }
+
+    /// Sifting interleaved (x, y) pairs as groups keeps each pair adjacent
+    /// with x above y, so the MOT rename stays order-valid and denotes the
+    /// same function as before the pass.
+    #[test]
+    fn grouped_sift_keeps_pairs_interleaved(e in arb_expr(NVARS)) {
+        // Variables 2i are "x", 2i+1 are "y"; the expression (over vars
+        // 0..NVARS) is spread onto the x variables.
+        let mgr = BddManager::with_vars(2 * NVARS);
+        let spread: Vec<(VarId, VarId)> = (0..NVARS)
+            .map(|i| (VarId::from_index(i), VarId::from_index(2 * i)))
+            .collect();
+        let f = build(&mgr, &e).rename(&spread).unwrap();
+        let pairs: Vec<Vec<VarId>> = (0..NVARS)
+            .map(|i| vec![VarId::from_index(2 * i), VarId::from_index(2 * i + 1)])
+            .collect();
+        let mot: Vec<(VarId, VarId)> = pairs.iter().map(|p| (p[0], p[1])).collect();
+        let before = f.rename(&mot).unwrap();
+        mgr.sift(&pairs, 1.2);
+        prop_assert_eq!(mgr.canonical_violations(), 0);
+        for p in &pairs {
+            prop_assert_eq!(mgr.var_level(p[1]), mgr.var_level(p[0]) + 1);
+        }
+        prop_assert_eq!(before, f.rename(&mot).unwrap());
+    }
 }

@@ -407,6 +407,7 @@ fn limits(opts: &Opts) {
                 HybridConfig {
                     node_limit: limit,
                     fallback_frames: 8,
+                    ..Default::default()
                 },
             );
             println!(

@@ -60,9 +60,17 @@ options: --len N  --seed S  --limit NODES  --max-len N  --complete
          --static  --inject K  --output J  --no-xred  --all-nets  --compact
          --jobs N  (worker threads for sim3/strategies/xred; the result is
                     identical for every N — see DESIGN.md §8)
+         --units N  (fixed work-unit count for sim3/strategies; default 0 =
+                    auto-sized. More units mean fewer faults — and smaller
+                    BDDs — per unit, which shifts where the hybrid node
+                    limit bites; verdicts stay identical for every N)
+         --reorder none|sift  (response to symbolic node-limit pressure in
+                    hybrid runs: `sift` tries one dynamic-reordering pass
+                    before the three-valued fallback; default `none`)
          --bdd-stats  (print BDD-manager usage — peak nodes, gc runs, ITE
-                       cache hit rate, unique-table probe length — after
-                       sim3/strategies/xred runs)";
+                       cache hit rate, unique-table probe length, reorder
+                       and fallback counts — after sim3/strategies/xred
+                       runs)";
 
 #[derive(Debug)]
 struct Opts {
@@ -78,7 +86,9 @@ struct Opts {
     all_nets: bool,
     compact: bool,
     jobs: usize,
+    units: usize,
     bdd_stats: bool,
+    reorder: motsim::hybrid::ReorderPolicy,
 }
 
 impl Default for Opts {
@@ -96,7 +106,9 @@ impl Default for Opts {
             all_nets: false,
             compact: false,
             jobs: 1,
+            units: 0,
             bdd_stats: false,
+            reorder: motsim::hybrid::ReorderPolicy::None,
         }
     }
 }
@@ -123,6 +135,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--max-len" => o.max_len = num(args, &mut i, "--max-len"),
             "--inject" => o.inject = num(args, &mut i, "--inject"),
             "--jobs" => o.jobs = num(args, &mut i, "--jobs").max(1),
+            "--units" => o.units = num(args, &mut i, "--units"),
             "--output" => o.output = num(args, &mut i, "--output"),
             "--complete" => o.complete = true,
             "--static" => o.static_mode = true,
@@ -130,6 +143,14 @@ fn parse_opts(args: &[String]) -> Opts {
             "--all-nets" => o.all_nets = true,
             "--compact" => o.compact = true,
             "--bdd-stats" => o.bdd_stats = true,
+            "--reorder" => {
+                i += 1;
+                o.reorder = match args.get(i).map(String::as_str) {
+                    Some("none") => motsim::hybrid::ReorderPolicy::None,
+                    Some("sift") => motsim::hybrid::ReorderPolicy::Sift,
+                    _ => die("--reorder needs `none` or `sift`"),
+                };
+            }
             other => die(&format!("unknown option `{other}`")),
         }
         i += 1;
@@ -171,8 +192,10 @@ fn run_job(job: &motsim_engine::Job) -> motsim_engine::JobResult {
     result.unwrap_or_else(|e| die(&format!("engine failure: {e}")))
 }
 
-/// Prints the BDD usage of a run (the `--bdd-stats` flag).
-fn print_bdd_stats(bdd: &motsim::BddUsage) {
+/// Prints the BDD usage of a run (the `--bdd-stats` flag). The second line
+/// is the pressure-response summary: sifting passes, level swaps, and how
+/// many frames still had to run three-valued.
+fn print_bdd_stats(bdd: &motsim::BddUsage, fallback_frames: usize) {
     if bdd.unique_lookups == 0 && bdd.cache_misses == 0 {
         println!("  bdd: no symbolic work performed");
         return;
@@ -188,6 +211,10 @@ fn print_bdd_stats(bdd: &motsim::BddUsage) {
     println!(
         "  bdd: peak {} node(s), {} gc run(s), ite cache hit rate {}, avg unique-table probe {}",
         bdd.peak_live_nodes, bdd.gc_runs, rate, probe
+    );
+    println!(
+        "  reorder: {} sifting pass(es), {} level swap(s); {} fallback frame(s)",
+        bdd.reorder_runs, bdd.reorder_swaps, fallback_frames
     );
 }
 
@@ -308,11 +335,13 @@ fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
         let (red, rest) = motsim_engine::xred_partition(&analysis, faults.as_slice(), opts.jobs);
         (rest, red.len())
     };
-    let outcome = run_job(
-        &motsim_engine::Job::new(netlist, &seq, &sim_faults, motsim_engine::EngineKind::Sim3)
-            .jobs(opts.jobs),
-    )
-    .outcome;
+    let mut job =
+        motsim_engine::Job::new(netlist, &seq, &sim_faults, motsim_engine::EngineKind::Sim3)
+            .jobs(opts.jobs);
+    if opts.units > 0 {
+        job = job.units(opts.units);
+    }
+    let outcome = run_job(&job).outcome;
     println!(
         "{} vectors, {} faults ({} X-redundant eliminated): {} detected in {:?}",
         opts.len,
@@ -326,7 +355,7 @@ fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
         100.0 * outcome.num_detected() as f64 / faults.len() as f64
     );
     if opts.bdd_stats {
-        print_bdd_stats(&outcome.bdd);
+        print_bdd_stats(&outcome.bdd, outcome.fallback_frames);
     }
 }
 
@@ -354,18 +383,21 @@ fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
     let config = HybridConfig {
         node_limit: opts.limit,
         fallback_frames: 8,
+        reorder: opts.reorder,
     };
     for strategy in Strategy::ALL {
         let t0 = Instant::now();
-        let r = run_job(
-            &motsim_engine::Job::new(
-                netlist,
-                &seq,
-                &hard,
-                motsim_engine::EngineKind::Hybrid(strategy, config),
-            )
-            .jobs(opts.jobs),
-        );
+        let mut job = motsim_engine::Job::new(
+            netlist,
+            &seq,
+            &hard,
+            motsim_engine::EngineKind::Hybrid(strategy, config),
+        )
+        .jobs(opts.jobs);
+        if opts.units > 0 {
+            job = job.units(opts.units);
+        }
+        let r = run_job(&job);
         println!(
             "  {strategy:>4}: +{:<5} detected{} in {:?} ({} unit(s), {} worker(s))",
             r.outcome.num_detected(),
@@ -379,7 +411,7 @@ fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
             r.workers
         );
         if opts.bdd_stats {
-            print_bdd_stats(&r.outcome.bdd);
+            print_bdd_stats(&r.outcome.bdd, r.outcome.fallback_frames);
         }
     }
 }
@@ -408,7 +440,7 @@ fn cmd_xred(netlist: &Netlist, opts: &Opts) {
     println!("{} faults remain for simulation", rest.len());
     if opts.bdd_stats {
         // X-redundancy analysis is purely three-valued — no BDD manager.
-        print_bdd_stats(&motsim::BddUsage::default());
+        print_bdd_stats(&motsim::BddUsage::default(), 0);
     }
 }
 

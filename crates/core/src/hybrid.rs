@@ -26,6 +26,21 @@ use crate::report::{BddUsage, Detection, FaultOutcome, SimOutcome};
 use crate::sim3::FaultSim3;
 use crate::symbolic::{Strategy, SymbolicFaultSim};
 
+/// Response to symbolic node-limit pressure, tried *before* the lossy
+/// three-valued fallback.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReorderPolicy {
+    /// Fall back three-valued immediately (the paper's only option: its
+    /// package had a fixed variable order).
+    #[default]
+    None,
+    /// Run one sifting pass of dynamic variable reordering
+    /// ([`SymbolicFaultSim::reorder_sift`]) and retry the frame; fall back
+    /// only if the reordered graph still exceeds the limit. Keeps the run
+    /// exact whenever a better order exists, at some reordering cost.
+    Sift,
+}
+
 /// Configuration of the hybrid simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HybridConfig {
@@ -34,6 +49,8 @@ pub struct HybridConfig {
     /// Number of three-valued frames per fallback ("a few simulation
     /// steps" in the paper).
     pub fallback_frames: usize,
+    /// What to try when a symbolic step hits the node limit.
+    pub reorder: ReorderPolicy,
 }
 
 impl Default for HybridConfig {
@@ -41,6 +58,7 @@ impl Default for HybridConfig {
         HybridConfig {
             node_limit: 30_000,
             fallback_frames: 8,
+            reorder: ReorderPolicy::None,
         }
     }
 }
@@ -107,40 +125,49 @@ pub fn hybrid_run(
             }
             Some((true_v3, faulty_v3)) => {
                 sym.seed_true_state(true_v3);
+                // A fault whose verdict is already in is dropped for good:
+                // re-simulating it would cost BDD nodes (extra limit
+                // pressure) and could only re-detect at a later frame.
                 for (f, st) in faulty_v3 {
-                    sym.add_fault_with_state(*f, st);
+                    if !detections.contains_key(f) {
+                        sym.add_fault_with_state(*f, st);
+                    }
                 }
             }
         }
         let phase_start = t;
         let mut progressed = 0usize;
         while t < seq.len() {
-            match sym.step(seq.vector(t)) {
-                Ok(newly) => {
-                    for f in newly {
-                        detections.entry(f).or_insert(Detection {
-                            frame: t,
-                            output: 0,
-                        });
-                    }
+            let mut step = sym.step(seq.vector(t));
+            if matches!(step, Err(BddError::NodeLimit { .. }))
+                && config.reorder == ReorderPolicy::Sift
+            {
+                // Reorder-before-fallback: one sifting pass, then retry the
+                // frame once. Only if the reordered graph still cannot fit
+                // does the phase end (and the lossy projection begin).
+                sym.reorder_sift();
+                step = sym.step(seq.vector(t));
+            }
+            match step {
+                Ok(_newly) => {
+                    // Detections are folded in from the phase outcome below,
+                    // which carries the real frame *and* output per fault.
                     t += 1;
                     progressed += 1;
                 }
                 Err(BddError::NodeLimit { .. }) => break,
             }
         }
-        // Fold in exact per-output detection info from the phase outcome.
+        // Fold in exact per-output detection info from the phase outcome,
+        // keeping the earliest recorded detection for each fault.
         let phase_outcome = sym.outcome();
         bdd_total.absorb(&phase_outcome.bdd);
         for r in phase_outcome.results {
             if let Some(d) = r.detection {
-                detections.insert(
-                    r.fault,
-                    Detection {
-                        frame: phase_start + d.frame,
-                        output: d.output,
-                    },
-                );
+                detections.entry(r.fault).or_insert(Detection {
+                    frame: phase_start + d.frame,
+                    output: d.output,
+                });
             }
         }
         degraded_total += sym.degraded_terms();
@@ -169,10 +196,12 @@ pub fn hybrid_run(
         let mut tv = FaultSim3::with_states(netlist, &true_v3, faulty_v3);
         for _ in 0..frames_here {
             let newly = tv.step(seq.vector(t));
-            for f in newly {
+            for (f, d) in newly {
+                // `d.frame` is relative to this fallback's start; `t` is the
+                // same instant in global frames. The output index is real.
                 detections.entry(f).or_insert(Detection {
                     frame: t,
-                    output: 0,
+                    output: d.output,
                 });
             }
             t += 1;
@@ -221,14 +250,18 @@ mod tests {
                 HybridConfig {
                     node_limit: 1_000_000,
                     fallback_frames: 4,
+                    ..Default::default()
                 },
             );
             assert_eq!(hyb.fallback_frames, 0, "{strategy} should not fall back");
             for (a, b) in pure.results.iter().zip(&hyb.results) {
                 assert_eq!(a.fault, b.fault);
+                // Full equality — frame *and* output — not just the verdict:
+                // the hybrid's accounting must be byte-identical to the pure
+                // engine whenever no fallback distorts the run.
                 assert_eq!(
-                    a.detection.is_some(),
-                    b.detection.is_some(),
+                    a.detection,
+                    b.detection,
                     "{strategy} differs on {}",
                     a.fault.display(&n)
                 );
@@ -249,6 +282,7 @@ mod tests {
             HybridConfig {
                 node_limit: 200,
                 fallback_frames: 5,
+                ..Default::default()
             },
         );
         assert_eq!(out.frames, 40);
@@ -275,6 +309,7 @@ mod tests {
             HybridConfig {
                 node_limit: 400,
                 fallback_frames: 3,
+                ..Default::default()
             },
         );
         for f in hyb.detected_faults() {
@@ -302,9 +337,91 @@ mod tests {
             HybridConfig {
                 node_limit: 2_000,
                 fallback_frames: 4,
+                ..Default::default()
             },
         );
         assert!(hyb.num_detected() >= three.num_detected());
+    }
+
+    #[test]
+    fn starved_hybrid_matches_three_valued_exactly() {
+        // Regression test for the first-detection accounting fixes. A node
+        // limit of 1 starves every symbolic phase, so the whole run
+        // degenerates to three-valued fallback frames and the outcome must
+        // equal a plain `FaultSim3::run` — same verdicts, same frames and,
+        // crucially, the *same output indices*. g344 has eleven outputs and
+        // most of its first detections land on an output other than 0, so
+        // this fails loudly if fallback detections ever hardcode the output
+        // index or shift frames across phase boundaries again.
+        let n = motsim_circuits::suite::by_name("g344").unwrap();
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 40, 11);
+        let three = FaultSim3::run(&n, &seq, faults.iter().cloned());
+        let hyb = hybrid_run(
+            &n,
+            Strategy::Mot,
+            &seq,
+            faults.iter().cloned(),
+            HybridConfig {
+                node_limit: 1,
+                fallback_frames: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(hyb.fallback_frames, seq.len(), "no symbolic frame can fit");
+        assert!(three
+            .results
+            .iter()
+            .any(|r| r.detection.is_some_and(|d| d.output != 0)));
+        for (a, b) in three.results.iter().zip(&hyb.results) {
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(
+                a.detection,
+                b.detection,
+                "starved hybrid diverges from three-valued on {}",
+                a.fault.display(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_detection_frames_never_predate_pure_symbolic() {
+        // Cross-phase frame accounting: the projection between phases only
+        // *loses* information (state sets grow, MOT observations reset), so
+        // a limited hybrid may detect a fault later than the exact engine —
+        // never earlier. An earlier frame would mean a stale or overwritten
+        // first-detection record.
+        let n = motsim_circuits::suite::by_name("g208").unwrap();
+        let faults = FaultList::collapsed(&n);
+        let seq = TestSequence::random(&n, 30, 12);
+        let exact = SymbolicFaultSim::new(&n, Strategy::Mot)
+            .run(&seq, faults.iter().cloned())
+            .unwrap();
+        for limit in [1, 500] {
+            let hyb = hybrid_run(
+                &n,
+                Strategy::Mot,
+                &seq,
+                faults.iter().cloned(),
+                HybridConfig {
+                    node_limit: limit,
+                    fallback_frames: 4,
+                    ..Default::default()
+                },
+            );
+            for (a, b) in exact.results.iter().zip(&hyb.results) {
+                assert_eq!(a.fault, b.fault);
+                if let (Some(e), Some(h)) = (a.detection, b.detection) {
+                    assert!(
+                        h.frame >= e.frame,
+                        "limit {limit}: hybrid reports frame {} before exact frame {} on {}",
+                        h.frame,
+                        e.frame,
+                        a.fault.display(&n)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Static BDD variable ordering for the state encoding.
 //!
-//! The symbolic engines assign one BDD variable per flip-flop; the paper's
-//! package (like ours) has no dynamic reordering, so the *assignment order*
-//! is the only ordering lever. This module computes structural orders:
+//! The symbolic engines assign one BDD variable per flip-flop. This module
+//! computes the *initial* order from circuit structure; it is complemented
+//! at run time by dynamic reordering
+//! ([`BddManager::sift`](motsim_bdd::BddManager::sift), exposed through
+//! `SymbolicFaultSim::reorder_sift`), which the hybrid engine invokes under
+//! node-limit pressure before falling back three-valued. A good static
+//! order is still worth computing — sifting starts from it and only ever
+//! improves locally. The structural orders:
 //!
 //! - [`VarOrder::natural`] — flip-flop index order (the baseline),
 //! - [`VarOrder::dfs`] — depth-first appearance order of the flip-flops in

@@ -28,6 +28,10 @@ pub struct BddUsage {
     pub unique_lookups: u64,
     /// Total unique-table probe steps.
     pub unique_probes: u64,
+    /// Sifting passes of dynamic variable reordering.
+    pub reorder_runs: u64,
+    /// Adjacent-level swaps performed across those passes.
+    pub reorder_swaps: u64,
 }
 
 impl BddUsage {
@@ -40,6 +44,8 @@ impl BddUsage {
             cache_misses: stats.cache_misses,
             unique_lookups: stats.unique_lookups,
             unique_probes: stats.unique_probes,
+            reorder_runs: stats.reorder_runs,
+            reorder_swaps: stats.reorder_swaps,
         }
     }
 
@@ -52,6 +58,8 @@ impl BddUsage {
         self.cache_misses += other.cache_misses;
         self.unique_lookups += other.unique_lookups;
         self.unique_probes += other.unique_probes;
+        self.reorder_runs += other.reorder_runs;
+        self.reorder_swaps += other.reorder_swaps;
     }
 
     /// Computed-cache hit rate in `[0, 1]`, or `None` when no symbolic
@@ -263,6 +271,8 @@ mod tests {
             cache_misses: 1,
             unique_lookups: 10,
             unique_probes: 15,
+            reorder_runs: 1,
+            reorder_swaps: 40,
         };
         let b = BddUsage {
             peak_live_nodes: 250,
@@ -271,10 +281,14 @@ mod tests {
             cache_misses: 3,
             unique_lookups: 10,
             unique_probes: 10,
+            reorder_runs: 2,
+            reorder_swaps: 60,
         };
         a.absorb(&b);
         assert_eq!(a.peak_live_nodes, 250, "peak takes the max");
         assert_eq!(a.gc_runs, 3);
+        assert_eq!(a.reorder_runs, 3, "reorder counters add up");
+        assert_eq!(a.reorder_swaps, 100);
         assert_eq!(a.cache_hit_rate(), Some(0.5));
         assert_eq!(a.avg_probe_len(), Some(1.25));
         assert_eq!(BddUsage::default().cache_hit_rate(), None);

@@ -348,12 +348,15 @@ impl<'a> FaultSim3<'a> {
     }
 
     /// Applies one input vector to the fault-free machine and every live
-    /// faulty machine; returns the faults newly detected in this frame.
+    /// faulty machine; returns the faults newly detected in this frame,
+    /// each with its full [`Detection`] (frame plus the detecting output),
+    /// so callers embedding this engine — the hybrid's fallback phases in
+    /// particular — can report the real output index.
     ///
     /// # Panics
     ///
     /// Panics if `inputs` does not match the circuit's input count.
-    pub fn step(&mut self, inputs: &[bool]) -> Vec<Fault> {
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<(Fault, Detection)> {
         // Keep the pre-frame fault-free state for seeding faulty machines.
         let prev_state: Vec<V3> = self.truesim.state().to_vec();
         self.truesim.step(inputs);
@@ -363,7 +366,7 @@ impl<'a> FaultSim3<'a> {
         for rec in records.iter_mut().filter(|r| r.detection.is_none()) {
             if let Some(det) = self.simulate_fault_frame(rec, &prev_state) {
                 rec.detection = Some(det);
-                newly.push(rec.fault);
+                newly.push((rec.fault, det));
             }
         }
         self.records = records;
@@ -554,7 +557,15 @@ mod tests {
         let f = Fault::stuck_at_0(Lead::stem(z));
         let mut sim = FaultSim3::new(&n, [f]);
         let det = sim.step(&[false]);
-        assert_eq!(det, vec![f]);
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].0, f);
+        assert_eq!(
+            det[0].1,
+            Detection {
+                frame: 0,
+                output: 0
+            }
+        );
         let out = sim.outcome();
         assert_eq!(out.num_detected(), 1);
         assert_eq!(out.results[0].detection.unwrap().frame, 0);
@@ -585,7 +596,10 @@ mod tests {
         let f = Fault::stuck_at_0(Lead::stem(q));
         let mut sim = FaultSim3::new(&n, [f]);
         assert!(sim.step(&[false]).is_empty());
-        assert_eq!(sim.step(&[true]), vec![f]);
+        let det = sim.step(&[true]);
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].0, f);
+        assert_eq!(det[0].1.frame, 1, "real frame, not a placeholder");
     }
 
     #[test]

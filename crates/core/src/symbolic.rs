@@ -363,6 +363,20 @@ impl<'a> SymbolicFaultSim<'a> {
         }
     }
 
+    /// Runs one sifting pass of dynamic variable reordering on the
+    /// underlying manager ([`BddManager::sift`]); the hybrid simulator calls
+    /// this when [`step`](Self::step) hits the node limit, before resorting
+    /// to the lossy three-valued fallback.
+    ///
+    /// For MOT, each `(x_i, y_i)` pair sifts as a rigid group so the Lemma 1
+    /// rename `o^f(x, t) → o^f(y, t)` stays order-valid; the other
+    /// strategies have no rename and sift every variable independently.
+    /// Returns the number of live nodes the pass shed.
+    pub fn reorder_sift(&mut self) -> usize {
+        let groups: Vec<Vec<VarId>> = self.rename_map.iter().map(|&(x, y)| vec![x, y]).collect();
+        self.mgr.sift(&groups, 1.2)
+    }
+
     /// The strategy this simulator applies.
     pub fn strategy(&self) -> Strategy {
         self.strategy

@@ -63,6 +63,21 @@ fn hybrid_with_fallback_worker_count_invariant() {
     let config = HybridConfig {
         node_limit: 300,
         fallback_frames: 4,
+        ..Default::default()
+    };
+    assert_jobs_invariant("g208", EngineKind::Hybrid(Strategy::Mot, config), 40);
+}
+
+#[test]
+fn hybrid_with_sifting_worker_count_invariant() {
+    // Reorder-before-fallback must stay jobs-deterministic too: each unit
+    // runs its own manager, and sifting is a deterministic function of that
+    // manager's state, so the merged outcome (verdicts, frames, reorder
+    // counters) is identical for every worker count.
+    let config = HybridConfig {
+        node_limit: 300,
+        fallback_frames: 4,
+        reorder: motsim::hybrid::ReorderPolicy::Sift,
     };
     assert_jobs_invariant("g208", EngineKind::Hybrid(Strategy::Mot, config), 40);
 }

@@ -39,6 +39,7 @@ fn check_pipeline(netlist: &Netlist, seq: &TestSequence) {
     let config = HybridConfig {
         node_limit: 200_000,
         fallback_frames: 8,
+        ..Default::default()
     };
     let mut detected = Vec::new();
     for strategy in Strategy::ALL {
@@ -219,6 +220,7 @@ fn pipeline_hybrid_under_pressure() {
             HybridConfig {
                 node_limit: limit,
                 fallback_frames: 4,
+                ..Default::default()
             },
         );
         assert_eq!(hyb.frames, 40);
