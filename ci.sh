@@ -44,6 +44,24 @@ reorder_sweep() {
 }
 diff <(reorder_sweep none) <(reorder_sweep sift)
 
+echo "==> smoke: structured trace (g208, --trace + trace-check)"
+# The JSONL stream must parse, keep frames monotone within each unit
+# bracket, and be byte-identical for every --jobs value.
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+trace_smoke() {
+  cargo run --release -q -p motsim-cli --bin motsim -- \
+    strategies g208 --len 40 --limit 2000 --units 8 --jobs "$1" \
+    --trace "$TRACE_DIR/j$1.jsonl" >/dev/null 2>&1
+}
+trace_smoke 1
+trace_smoke 4
+cargo run --release -q -p motsim-cli --bin motsim -- trace-check "$TRACE_DIR/j1.jsonl"
+cmp "$TRACE_DIR/j1.jsonl" "$TRACE_DIR/j4.jsonl"
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 # The proptest suites need the external `proptest` crate (network access to
 # fetch), so they are opt-in: MOTSIM_PROPTESTS=1 ./ci.sh
 if [ "${MOTSIM_PROPTESTS:-0}" = "1" ]; then

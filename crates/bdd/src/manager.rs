@@ -1376,6 +1376,27 @@ impl BddManager {
         self.inner.borrow_mut().sift(&raw, max_growth)
     }
 
+    /// Like [`sift`](Self::sift), additionally reporting the pass to `sink`
+    /// as one [`motsim_trace::TraceEvent::SiftPass`] carrying the
+    /// adjacent-level swaps the
+    /// pass performed and the live nodes it shed.
+    pub fn sift_traced(
+        &self,
+        groups: &[Vec<VarId>],
+        max_growth: f64,
+        sink: &mut dyn motsim_trace::TraceSink,
+    ) -> usize {
+        let swaps_before = self.inner.borrow().reorder_swaps;
+        let shed = self.sift(groups, max_growth);
+        if sink.enabled() {
+            sink.event(&motsim_trace::TraceEvent::SiftPass {
+                swaps: self.inner.borrow().reorder_swaps - swaps_before,
+                shed,
+            });
+        }
+        shed
+    }
+
     /// Counts stored nodes that violate the complement-edge canonical form
     /// (complemented then-edge, redundant node, or order violation). Always
     /// 0 for a correct implementation; exposed so integration and property

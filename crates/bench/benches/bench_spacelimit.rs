@@ -12,8 +12,8 @@
 mod imp {
 
     use criterion::{criterion_group, criterion_main, Criterion};
+    use motsim::engine_api::{FaultSimEngine, HybridEngine, SimConfig};
     use motsim::faults::{Fault, FaultList};
-    use motsim::hybrid::{hybrid_run, HybridConfig};
     use motsim::pattern::TestSequence;
     use motsim::sim3::FaultSim3;
     use motsim::symbolic::Strategy;
@@ -29,17 +29,17 @@ mod imp {
         for limit in [500usize, 2_000, 30_000] {
             g.bench_function(format!("mot_limit_{limit}"), |b| {
                 b.iter(|| {
-                    hybrid_run(
-                        &netlist,
-                        Strategy::Mot,
-                        &seq,
-                        hard.iter().cloned(),
-                        HybridConfig {
-                            node_limit: limit,
-                            fallback_frames: 8,
-                        },
-                    )
-                    .num_detected()
+                    HybridEngine
+                        .run(
+                            &netlist,
+                            &seq,
+                            &hard,
+                            SimConfig::new()
+                                .strategy(Strategy::Mot)
+                                .node_limit(Some(limit)),
+                        )
+                        .unwrap()
+                        .num_detected()
                 })
             });
         }

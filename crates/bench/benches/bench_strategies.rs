@@ -11,8 +11,8 @@
 mod imp {
 
     use criterion::{criterion_group, criterion_main, Criterion};
+    use motsim::engine_api::{FaultSimEngine, HybridEngine, SimConfig};
     use motsim::faults::{Fault, FaultList};
-    use motsim::hybrid::{hybrid_run, HybridConfig};
     use motsim::pattern::TestSequence;
     use motsim::sim3::FaultSim3;
     use motsim::symbolic::Strategy;
@@ -29,14 +29,10 @@ mod imp {
             for strategy in Strategy::ALL {
                 g.bench_function(format!("{strategy}/{name}"), |b| {
                     b.iter(|| {
-                        hybrid_run(
-                            &netlist,
-                            strategy,
-                            &seq,
-                            hard.iter().cloned(),
-                            HybridConfig::default(),
-                        )
-                        .num_detected()
+                        HybridEngine
+                            .run(&netlist, &seq, &hard, SimConfig::new().strategy(strategy))
+                            .unwrap()
+                            .num_detected()
                     })
                 });
             }

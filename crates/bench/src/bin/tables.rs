@@ -22,7 +22,7 @@ use motsim::pattern::TestSequence;
 use motsim::report::{cell, secs};
 use motsim::symbolic::{Strategy, SymbolicFaultSim};
 
-use motsim::Fault;
+use motsim::{Fault, FaultSimEngine};
 use motsim_bench::{
     deterministic_sequence, spec, table1_row, table23_row, table4_row, DEFAULT_LEN, DEFAULT_SEED,
 };
@@ -399,17 +399,16 @@ fn limits(opts: &Opts) {
         let hard: Vec<Fault> = three.undetected_faults().collect();
         for limit in [500usize, 2_000, 10_000, 30_000, 120_000] {
             let t0 = Instant::now();
-            let outcome = motsim::hybrid::hybrid_run(
-                &netlist,
-                Strategy::Mot,
-                &seq,
-                hard.iter().cloned(),
-                HybridConfig {
-                    node_limit: limit,
-                    fallback_frames: 8,
-                    ..Default::default()
-                },
-            );
+            let outcome = motsim::HybridEngine
+                .run(
+                    &netlist,
+                    &seq,
+                    &hard,
+                    motsim::SimConfig::new()
+                        .strategy(Strategy::Mot)
+                        .node_limit(Some(limit)),
+                )
+                .expect("hybrid never fails on a valid config");
             println!(
                 "{} {} {} {} {} {}",
                 cell(name, 9),

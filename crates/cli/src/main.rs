@@ -14,6 +14,7 @@
 //! motsim vcd        <circuit> [--len N] [--seed S] [--inject K] [--all-nets]
 //! motsim scoap      <circuit>
 //! motsim list
+//! motsim trace-check <file.jsonl>
 //! ```
 //!
 //! `<circuit>` is either a built-in suite name (`g208`, `g298`, … — see
@@ -35,6 +36,7 @@ use motsim::tgen::{self, TgenConfig};
 use motsim::xred::XRedAnalysis;
 use motsim_netlist::analysis::NetlistStats;
 use motsim_netlist::Netlist;
+use motsim_trace::{JsonlSink, TraceEvent, TraceSink};
 
 const USAGE: &str = "\
 usage: motsim <command> <circuit> [options]
@@ -53,6 +55,7 @@ commands:
   vcd         Value Change Dump of a (faulty) simulation to stdout
   scoap       SCOAP testability measures (CC0/CC1/CO per net)
   list        list the built-in benchmark suite
+  trace-check validate a --trace JSONL file (schema + frame monotonicity)
 
 <circuit> is a suite name (try `motsim list`) or a .bench file path.
 
@@ -70,7 +73,14 @@ options: --len N  --seed S  --limit NODES  --max-len N  --complete
          --bdd-stats  (print BDD-manager usage — peak nodes, gc runs, ITE
                        cache hit rate, unique-table probe length, reorder
                        and fallback counts — after sim3/strategies/xred
-                       runs)";
+                       runs)
+         --trace FILE  (stream structured JSONL telemetry of sim3/strategies/
+                       xred runs to FILE: per-frame node counts, node-limit
+                       hits, sift passes, fallback spans, unit brackets.
+                       The stream is byte-identical for every --jobs value;
+                       validate with `motsim trace-check FILE`)
+         --trace-summary  (print an event-count summary of the same
+                       telemetry to stderr after the run)";
 
 #[derive(Debug)]
 struct Opts {
@@ -89,6 +99,8 @@ struct Opts {
     units: usize,
     bdd_stats: bool,
     reorder: motsim::hybrid::ReorderPolicy,
+    trace: Option<String>,
+    trace_summary: bool,
 }
 
 impl Default for Opts {
@@ -109,6 +121,8 @@ impl Default for Opts {
             units: 0,
             bdd_stats: false,
             reorder: motsim::hybrid::ReorderPolicy::None,
+            trace: None,
+            trace_summary: false,
         }
     }
 }
@@ -143,6 +157,15 @@ fn parse_opts(args: &[String]) -> Opts {
             "--all-nets" => o.all_nets = true,
             "--compact" => o.compact = true,
             "--bdd-stats" => o.bdd_stats = true,
+            "--trace" => {
+                i += 1;
+                o.trace = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace needs a file path")),
+                );
+            }
+            "--trace-summary" => o.trace_summary = true,
             "--reorder" => {
                 i += 1;
                 o.reorder = match args.get(i).map(String::as_str) {
@@ -158,38 +181,112 @@ fn parse_opts(args: &[String]) -> Opts {
     o
 }
 
-/// Runs an engine job, draining progress events to stderr when more than
-/// one worker is requested.
-fn run_job(job: &motsim_engine::Job) -> motsim_engine::JobResult {
-    use motsim_engine::Progress;
-    let result = if job.jobs > 1 {
-        let (tx, rx) = std::sync::mpsc::channel();
-        let mut result = None;
-        std::thread::scope(|s| {
-            s.spawn(move || {
-                for event in rx {
-                    match event {
-                        Progress::UnitStarted {
-                            unit,
-                            worker,
-                            faults,
-                        } => eprintln!("  [worker {worker}] unit {unit}: {faults} fault(s)"),
-                        Progress::UnitFinished {
-                            unit,
-                            worker,
-                            detected,
-                        } => eprintln!("  [worker {worker}] unit {unit} done: {detected} detected"),
-                    }
-                }
-            });
-            result = Some(motsim_engine::run_with_progress(job, Some(&tx)));
-            drop(tx);
+/// Runs an engine job, replaying its deterministic trace stream into
+/// `sink` (the merged stream is byte-identical for every `--jobs` value).
+fn run_job(job: &motsim_engine::Job, sink: &mut dyn TraceSink) -> motsim_engine::JobResult {
+    motsim_engine::run_traced(job, sink).unwrap_or_else(|e| die(&format!("engine failure: {e}")))
+}
+
+/// The CLI's composite sink behind `--trace` / `--trace-summary`: streams
+/// JSONL to a file and/or aggregates an event-count summary.
+struct TraceOut {
+    jsonl: Option<JsonlSink<std::io::BufWriter<std::fs::File>>>,
+    summary: Option<TraceSummary>,
+}
+
+#[derive(Default)]
+struct TraceSummary {
+    events: usize,
+    sym_frames: usize,
+    tv_frames: usize,
+    node_limits: usize,
+    sift_passes: usize,
+    sift_shed: usize,
+    fallback_phases: usize,
+    fallback_frames: usize,
+    units: usize,
+    peak: usize,
+}
+
+impl TraceOut {
+    /// Builds the sink the options ask for; a disabled sink costs nothing.
+    fn from_opts(opts: &Opts) -> TraceOut {
+        let jsonl = opts.trace.as_deref().map(|path| {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| die(&format!("cannot create `{path}`: {e}")));
+            JsonlSink::new(std::io::BufWriter::new(file))
         });
-        result.expect("job ran")
-    } else {
-        motsim_engine::run(job)
-    };
-    result.unwrap_or_else(|e| die(&format!("engine failure: {e}")))
+        TraceOut {
+            jsonl,
+            summary: opts.trace_summary.then(TraceSummary::default),
+        }
+    }
+
+    /// Flushes the JSONL file and prints the summary. Trace I/O errors are
+    /// fatal only here, after the simulation finished.
+    fn finish(self, opts: &Opts) {
+        if let Some(jsonl) = self.jsonl {
+            if let Err(e) = jsonl.finish() {
+                let path = opts.trace.as_deref().unwrap_or("?");
+                die(&format!("writing trace `{path}`: {e}"));
+            }
+        }
+        if let Some(s) = self.summary {
+            eprintln!(
+                "trace: {} event(s), {} unit(s); {} symbolic frame(s) (peak {} node(s)), \
+                 {} three-valued frame(s) in {} fallback phase(s); \
+                 {} node-limit hit(s), {} sift pass(es) shedding {} node(s)",
+                s.events,
+                s.units,
+                s.sym_frames,
+                s.peak,
+                s.tv_frames,
+                s.fallback_phases,
+                s.node_limits,
+                s.sift_passes,
+                s.sift_shed,
+            );
+            if s.fallback_frames > 0 {
+                eprintln!(
+                    "trace: fallback spans cover {} frame(s) total",
+                    s.fallback_frames
+                );
+            }
+        }
+    }
+}
+
+impl TraceSink for TraceOut {
+    fn event(&mut self, event: &TraceEvent) {
+        if let Some(jsonl) = &mut self.jsonl {
+            jsonl.event(event);
+        }
+        if let Some(s) = &mut self.summary {
+            s.events += 1;
+            match *event {
+                TraceEvent::SymFrame { peak, .. } => {
+                    s.sym_frames += 1;
+                    s.peak = s.peak.max(peak);
+                }
+                TraceEvent::TvFrame { .. } => s.tv_frames += 1,
+                TraceEvent::NodeLimit { .. } => s.node_limits += 1,
+                TraceEvent::SiftPass { shed, .. } => {
+                    s.sift_passes += 1;
+                    s.sift_shed += shed;
+                }
+                TraceEvent::FallbackExit { frames, .. } => {
+                    s.fallback_phases += 1;
+                    s.fallback_frames += frames;
+                }
+                TraceEvent::UnitStart { .. } => s.units += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.jsonl.is_some() || self.summary.is_some()
+    }
 }
 
 /// Prints the BDD usage of a run (the `--bdd-stats` flag). The second line
@@ -251,6 +348,13 @@ fn main() {
         cmd_list();
         return;
     }
+    if cmd == "trace-check" {
+        let Some(path) = args.get(1) else {
+            die("trace-check needs a .jsonl file path")
+        };
+        cmd_trace_check(path);
+        return;
+    }
     let Some(circuit) = args.get(1) else {
         die("missing circuit")
     };
@@ -271,6 +375,61 @@ fn main() {
         "scoap" => cmd_scoap(&netlist),
         other => die(&format!("unknown command `{other}`")),
     }
+}
+
+/// Validates a `--trace` JSONL file: every line parses, and frame-anchored
+/// events are monotone (non-decreasing) within each unit bracket / engine
+/// run. Exits 1 on the first violation.
+fn cmd_trace_check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read `{path}`: {e}")));
+    let mut watermark: Option<usize> = None;
+    let mut events = 0usize;
+    let mut units = 0usize;
+    let mut runs = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::parse_jsonl(line).unwrap_or_else(|e| {
+            eprintln!("error: {path}:{}: {e}", idx + 1);
+            exit(1);
+        });
+        events += 1;
+        match ev {
+            TraceEvent::UnitStart { .. } => {
+                units += 1;
+                watermark = None;
+            }
+            TraceEvent::RunStart { .. } => {
+                runs += 1;
+                watermark = None;
+            }
+            _ => {
+                if let Some(frame) = ev.frame() {
+                    if let Some(w) = watermark {
+                        if frame < w {
+                            eprintln!(
+                                "error: {path}:{}: frame {frame} regresses below {w} \
+                                 within one unit",
+                                idx + 1
+                            );
+                            exit(1);
+                        }
+                    }
+                    watermark = Some(frame);
+                }
+            }
+        }
+    }
+    if events == 0 {
+        eprintln!("error: `{path}` holds no trace events");
+        exit(1);
+    }
+    println!(
+        "{path}: {events} event(s), {runs} engine run(s), {units} unit bracket(s); \
+         frames monotone per unit"
+    );
 }
 
 fn cmd_list() {
@@ -327,6 +486,7 @@ fn cmd_faults(netlist: &Netlist, opts: &Opts) {
 fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
     let faults = FaultList::collapsed(netlist);
     let seq = TestSequence::random(netlist, opts.len, opts.seed);
+    let mut trace = TraceOut::from_opts(opts);
     let t0 = Instant::now();
     let (sim_faults, x_red) = if opts.no_xred {
         (faults.as_slice().to_vec(), 0)
@@ -335,13 +495,20 @@ fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
         let (red, rest) = motsim_engine::xred_partition(&analysis, faults.as_slice(), opts.jobs);
         (rest, red.len())
     };
+    if trace.enabled() {
+        trace.event(&TraceEvent::XRed {
+            eliminated: x_red,
+            remaining: sim_faults.len(),
+        });
+    }
     let mut job =
         motsim_engine::Job::new(netlist, &seq, &sim_faults, motsim_engine::EngineKind::Sim3)
             .jobs(opts.jobs);
     if opts.units > 0 {
         job = job.units(opts.units);
     }
-    let outcome = run_job(&job).outcome;
+    let outcome = run_job(&job, &mut trace).outcome;
+    trace.finish(opts);
     println!(
         "{} vectors, {} faults ({} X-redundant eliminated): {} detected in {:?}",
         opts.len,
@@ -362,6 +529,7 @@ fn cmd_sim3(netlist: &Netlist, opts: &Opts) {
 fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
     let faults = FaultList::collapsed(netlist);
     let seq = TestSequence::random(netlist, opts.len, opts.seed);
+    let mut trace = TraceOut::from_opts(opts);
     let three = run_job(
         &motsim_engine::Job::new(
             netlist,
@@ -370,6 +538,7 @@ fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
             motsim_engine::EngineKind::Sim3,
         )
         .jobs(opts.jobs),
+        &mut trace,
     )
     .outcome;
     let hard: Vec<_> = three.undetected_faults().collect();
@@ -397,7 +566,7 @@ fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
         if opts.units > 0 {
             job = job.units(opts.units);
         }
-        let r = run_job(&job);
+        let r = run_job(&job, &mut trace);
         println!(
             "  {strategy:>4}: +{:<5} detected{} in {:?} ({} unit(s), {} worker(s))",
             r.outcome.num_detected(),
@@ -414,10 +583,12 @@ fn cmd_strategies(netlist: &Netlist, opts: &Opts) {
             print_bdd_stats(&r.outcome.bdd, r.outcome.fallback_frames);
         }
     }
+    trace.finish(opts);
 }
 
 fn cmd_xred(netlist: &Netlist, opts: &Opts) {
     let faults = FaultList::collapsed(netlist);
+    let mut trace = TraceOut::from_opts(opts);
     let t0 = Instant::now();
     let analysis = if opts.static_mode {
         XRedAnalysis::analyze_static(netlist)
@@ -426,6 +597,13 @@ fn cmd_xred(netlist: &Netlist, opts: &Opts) {
         XRedAnalysis::analyze(netlist, &seq)
     };
     let (red, rest) = motsim_engine::xred_partition(&analysis, faults.as_slice(), opts.jobs);
+    if trace.enabled() {
+        trace.event(&TraceEvent::XRed {
+            eliminated: red.len(),
+            remaining: rest.len(),
+        });
+    }
+    trace.finish(opts);
     println!(
         "{} of {} faults are X-redundant ({}, {:?})",
         red.len(),

@@ -19,6 +19,7 @@
 use motsim_bdd::BddError;
 use motsim_logic::V3;
 use motsim_netlist::Netlist;
+use motsim_trace::{NullSink, TraceEvent, TraceSink};
 
 use crate::faults::Fault;
 use crate::pattern::TestSequence;
@@ -63,7 +64,28 @@ impl Default for HybridConfig {
     }
 }
 
-/// Runs the hybrid simulation of `faults` over `seq` under `strategy`.
+/// Projected three-valued states carried between hybrid phases.
+type Carry = (Vec<V3>, Vec<(Fault, Vec<V3>)>);
+
+/// Runs the hybrid simulation of `faults` over `seq` under `strategy`
+/// (see [`run_traced`]), discarding trace events.
+#[deprecated(
+    since = "0.5.0",
+    note = "construct through `engine_api::HybridEngine` (or call \
+            `hybrid::run_traced` with a `NullSink`) instead"
+)]
+pub fn hybrid_run(
+    netlist: &Netlist,
+    strategy: Strategy,
+    seq: &TestSequence,
+    faults: impl IntoIterator<Item = Fault>,
+    config: HybridConfig,
+) -> SimOutcome {
+    run_traced(netlist, strategy, seq, faults, config, &mut NullSink)
+}
+
+/// Runs the hybrid simulation of `faults` over `seq` under `strategy`,
+/// reporting runtime telemetry to `sink`.
 ///
 /// Never fails: node-limit pressure is absorbed by three-valued fallback
 /// phases. The returned outcome's
@@ -71,34 +93,45 @@ impl Default for HybridConfig {
 /// ran three-valued (non-zero ⇒ the tables' asterisk; the result is then a
 /// sound lower bound rather than the exact strategy coverage).
 ///
+/// The trace narrates the paper's space battle frame by frame: each
+/// symbolic frame is a [`TraceEvent::SymFrame`], a limit hit is a
+/// [`TraceEvent::NodeLimit`] (followed by a [`TraceEvent::SiftPass`] when
+/// the reorder policy retries), and every fallback phase is bracketed by
+/// [`TraceEvent::FallbackEnter`]/[`TraceEvent::FallbackExit`] with its
+/// [`TraceEvent::TvFrame`]s in between. All frame numbers are global to the
+/// run, so the exact fallback spans can be reconstructed from the stream;
+/// the `frames` fields of the `FallbackExit` events sum to the outcome's
+/// `fallback_frames`. With a [`NullSink`] the run does no trace work at
+/// all.
+///
 /// # Example
 ///
 /// ```
-/// use motsim::hybrid::{hybrid_run, HybridConfig};
+/// use motsim::hybrid::{run_traced, HybridConfig};
 /// use motsim::symbolic::Strategy;
 /// use motsim::{FaultList, TestSequence};
+/// use motsim_trace::NullSink;
 ///
 /// let circuit = motsim_circuits::generators::counter(8);
 /// let faults = FaultList::collapsed(&circuit);
 /// let seq = TestSequence::random(&circuit, 50, 1);
-/// let outcome = hybrid_run(
+/// let outcome = run_traced(
 ///     &circuit,
 ///     Strategy::Mot,
 ///     &seq,
 ///     faults.iter().cloned(),
 ///     HybridConfig::default(),
+///     &mut NullSink,
 /// );
 /// assert_eq!(outcome.frames, 50);
 /// ```
-/// Projected three-valued states carried between hybrid phases.
-type Carry = (Vec<V3>, Vec<(Fault, Vec<V3>)>);
-
-pub fn hybrid_run(
+pub fn run_traced(
     netlist: &Netlist,
     strategy: Strategy,
     seq: &TestSequence,
     faults: impl IntoIterator<Item = Fault>,
     config: HybridConfig,
+    sink: &mut dyn TraceSink,
 ) -> SimOutcome {
     let order: Vec<Fault> = faults.into_iter().collect();
     let mut detections: std::collections::HashMap<Fault, Detection> =
@@ -117,6 +150,7 @@ pub fn hybrid_run(
         // ---- Symbolic phase ----
         let mut sym = SymbolicFaultSim::new(netlist, strategy);
         sym.set_node_limit(Some(config.node_limit));
+        sym.set_trace_frame_offset(t);
         match &carry {
             None => {
                 for &f in &order {
@@ -138,15 +172,19 @@ pub fn hybrid_run(
         let phase_start = t;
         let mut progressed = 0usize;
         while t < seq.len() {
-            let mut step = sym.step(seq.vector(t));
-            if matches!(step, Err(BddError::NodeLimit { .. }))
-                && config.reorder == ReorderPolicy::Sift
-            {
-                // Reorder-before-fallback: one sifting pass, then retry the
-                // frame once. Only if the reordered graph still cannot fit
-                // does the phase end (and the lossy projection begin).
-                sym.reorder_sift();
-                step = sym.step(seq.vector(t));
+            let mut step = sym.step_traced(seq.vector(t), sink);
+            if let Err(BddError::NodeLimit { limit }) = step {
+                if sink.enabled() {
+                    sink.event(&TraceEvent::NodeLimit { frame: t, limit });
+                }
+                if config.reorder == ReorderPolicy::Sift {
+                    // Reorder-before-fallback: one sifting pass, then retry
+                    // the frame once. Only if the reordered graph still
+                    // cannot fit does the phase end (and the lossy
+                    // projection begin).
+                    sym.reorder_sift_traced(sink);
+                    step = sym.step_traced(seq.vector(t), sink);
+                }
             }
             match step {
                 Ok(_newly) => {
@@ -193,9 +231,14 @@ pub fn hybrid_run(
         } else {
             config.fallback_frames.min(seq.len() - t)
         };
+        if sink.enabled() {
+            sink.event(&TraceEvent::FallbackEnter { frame: t });
+        }
+        let fallback_start = t;
         let mut tv = FaultSim3::with_states(netlist, &true_v3, faulty_v3);
+        tv.set_trace_frame_offset(t);
         for _ in 0..frames_here {
-            let newly = tv.step(seq.vector(t));
+            let newly = tv.step_traced(seq.vector(t), sink);
             for (f, d) in newly {
                 // `d.frame` is relative to this fallback's start; `t` is the
                 // same instant in global frames. The output index is real.
@@ -205,6 +248,12 @@ pub fn hybrid_run(
                 });
             }
             t += 1;
+        }
+        if sink.enabled() {
+            sink.event(&TraceEvent::FallbackExit {
+                frame: t,
+                frames: t - fallback_start,
+            });
         }
         fallback_total += frames_here;
         carry = Some((tv.true_state().to_vec(), tv.faulty_states()));
@@ -232,6 +281,18 @@ mod tests {
     use super::*;
     use crate::faults::FaultList;
     use crate::symbolic::SymbolicFaultSim;
+
+    /// Untraced entry point for the tests below (shadows the deprecated
+    /// wrapper of the same name).
+    fn hybrid_run(
+        netlist: &Netlist,
+        strategy: Strategy,
+        seq: &TestSequence,
+        faults: impl IntoIterator<Item = Fault>,
+        config: HybridConfig,
+    ) -> SimOutcome {
+        run_traced(netlist, strategy, seq, faults, config, &mut NullSink)
+    }
 
     #[test]
     fn unlimited_hybrid_equals_pure_symbolic() {

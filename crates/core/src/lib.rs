@@ -46,17 +46,29 @@
 //!
 //! # Quickstart
 //!
+//! Every engine is driven through the unified [`engine_api`]: build a
+//! [`SimConfig`], pick an engine, call
+//! [`run`](engine_api::FaultSimEngine::run). Attach a
+//! [`TraceSink`](motsim_trace::TraceSink) to the config to stream the
+//! run's structured telemetry (frame-by-frame node counts, fallback
+//! spans, reorder passes) as it happens.
+//!
 //! ```
+//! use motsim::engine_api::{FaultSimEngine, SimConfig, SymbolicEngine};
 //! use motsim::faults::FaultList;
 //! use motsim::pattern::TestSequence;
-//! use motsim::symbolic::{Strategy, SymbolicFaultSim};
+//! use motsim::symbolic::Strategy;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), motsim::SimError> {
 //! let circuit = motsim_circuits::s27();
-//! let faults = FaultList::collapsed(&circuit);
+//! let faults: Vec<_> = FaultList::collapsed(&circuit).into_iter().collect();
 //! let seq = TestSequence::random(&circuit, 20, 0xDAC95);
-//! let outcome = SymbolicFaultSim::new(&circuit, Strategy::Mot)
-//!     .run(&seq, faults.iter().cloned())?;
+//! let outcome = SymbolicEngine.run(
+//!     &circuit,
+//!     &seq,
+//!     &faults,
+//!     SimConfig::new().strategy(Strategy::Mot),
+//! )?;
 //! println!("{} of {} faults detected", outcome.num_detected(), faults.len());
 //! # Ok(())
 //! # }
@@ -64,6 +76,7 @@
 
 pub mod compact;
 pub mod dictionary;
+pub mod engine_api;
 pub mod exhaustive;
 pub mod faults;
 pub mod hybrid;
@@ -81,6 +94,7 @@ pub mod tgen;
 pub mod vcd;
 pub mod xred;
 
+pub use engine_api::{FaultSimEngine, HybridEngine, Sim3Engine, SimConfig, SymbolicEngine};
 pub use faults::{Fault, FaultList};
 pub use pattern::TestSequence;
-pub use report::{BddUsage, Detection, FaultOutcome, SimOutcome};
+pub use report::{BddUsage, Detection, FaultOutcome, SimError, SimOutcome};

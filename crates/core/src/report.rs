@@ -3,7 +3,49 @@
 use std::fmt;
 
 use crate::faults::Fault;
-use motsim_bdd::BddStats;
+use motsim_bdd::{BddError, BddStats};
+
+/// The one error type every fault-simulation engine surfaces (through
+/// [`crate::engine_api::FaultSimEngine::run`]).
+///
+/// The two variants separate the two ways a run can fail: the *manager*
+/// refused to grow ([`SimError::Bdd`] — retry hybrid, raise the limit) or
+/// the *configuration* never made sense ([`SimError::Config`] — fix the
+/// caller). `motsim-engine`'s `EngineError` is a plain `From` lift of this
+/// type that adds the failing work-unit id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The underlying BDD manager failed — in practice always a live-node
+    /// limit hit by a pure symbolic run (the hybrid engine absorbs limits).
+    Bdd(BddError),
+    /// The simulation configuration is invalid (e.g. a node limit of 0, or
+    /// zero fallback frames for a hybrid run).
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Bdd(e) => write!(f, "{e}"),
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Bdd(e) => Some(e),
+            SimError::Config(_) => None,
+        }
+    }
+}
+
+impl From<BddError> for SimError {
+    fn from(e: BddError) -> Self {
+        SimError::Bdd(e)
+    }
+}
 
 /// Aggregated BDD-manager usage of a simulation run.
 ///
@@ -306,5 +348,15 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(cell(42, 5), "   42");
         assert_eq!(secs(std::time::Duration::from_millis(1234)), "1.23");
+    }
+
+    #[test]
+    fn sim_error_wraps_and_displays() {
+        let bdd: SimError = BddError::NodeLimit { limit: 30_000 }.into();
+        assert_eq!(bdd.to_string(), "live BDD node limit of 30000 exceeded");
+        assert!(std::error::Error::source(&bdd).is_some());
+        let cfg = SimError::Config("node limit must be at least 1".into());
+        assert!(cfg.to_string().starts_with("invalid configuration:"));
+        assert!(std::error::Error::source(&cfg).is_none());
     }
 }

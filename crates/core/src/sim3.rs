@@ -11,6 +11,7 @@
 
 use motsim_logic::{eval_gate, V3};
 use motsim_netlist::{Lead, NetId, Netlist, NodeKind};
+use motsim_trace::{TraceEvent, TraceSink};
 
 use crate::faults::Fault;
 use crate::pattern::TestSequence;
@@ -232,6 +233,7 @@ pub struct FaultSim3<'a> {
     queued: Vec<u32>,
     buckets: Vec<Vec<NetId>>,
     frame: usize,
+    trace_offset: usize,
 }
 
 impl<'a> FaultSim3<'a> {
@@ -258,7 +260,17 @@ impl<'a> FaultSim3<'a> {
             queued: vec![0; nets],
             buckets: vec![Vec::new(); depth + 1],
             frame: 0,
+            trace_offset: 0,
         }
+    }
+
+    /// Sets the offset added to the internal frame counter when labelling
+    /// trace events (the simulation itself is unaffected). The hybrid
+    /// simulator, which builds a fresh `FaultSim3` per fallback phase, sets
+    /// this to the phase's global start frame so [`TraceEvent::TvFrame`]
+    /// events number frames of the whole run, not of the phase.
+    pub fn set_trace_frame_offset(&mut self, offset: usize) {
+        self.trace_offset = offset;
     }
 
     /// Creates a simulator whose fault-free and faulty machines start from
@@ -371,6 +383,25 @@ impl<'a> FaultSim3<'a> {
         }
         self.records = records;
         self.frame += 1;
+        newly
+    }
+
+    /// Like [`step`](Self::step), additionally reporting the frame to
+    /// `sink` as one [`TraceEvent::TvFrame`] (see
+    /// [`set_trace_frame_offset`](Self::set_trace_frame_offset) for how the
+    /// frame number is formed).
+    pub fn step_traced(
+        &mut self,
+        inputs: &[bool],
+        sink: &mut dyn TraceSink,
+    ) -> Vec<(Fault, Detection)> {
+        let newly = self.step(inputs);
+        if sink.enabled() {
+            sink.event(&TraceEvent::TvFrame {
+                frame: self.trace_offset + self.frame - 1,
+                detected: newly.len(),
+            });
+        }
         newly
     }
 

@@ -31,6 +31,7 @@
 use motsim_bdd::{Bdd, BddError, BddManager, VarId};
 use motsim_logic::V3;
 use motsim_netlist::{GateKind, Lead, NetId, Netlist, NodeKind};
+use motsim_trace::{TraceEvent, TraceSink};
 
 use crate::faults::Fault;
 use crate::pattern::TestSequence;
@@ -253,7 +254,7 @@ struct SymFaultRecord {
 ///
 /// Construct with [`new`](Self::new), add faults, then drive it frame by
 /// frame ([`step`](Self::step)) or with [`run`](Self::run). For the
-/// space-limited hybrid wrapper see [`crate::hybrid::hybrid_run`].
+/// space-limited hybrid wrapper see [`crate::hybrid::run_traced`].
 ///
 /// # Example
 ///
@@ -286,6 +287,8 @@ pub struct SymbolicFaultSim<'a> {
     frame: usize,
     gc_threshold: usize,
     degraded_terms: usize,
+    trace_offset: usize,
+    last_frame_events: usize,
 }
 
 /// Per-fault per-frame staging before commit.
@@ -294,6 +297,9 @@ struct FaultUpdate {
     det: Bdd,
     state: Vec<Bdd>,
     detection: Option<Detection>,
+    /// Nets of the faulty machine that diverged from the fault-free frame
+    /// (the size of the event-driven propagation's dirty set).
+    events: usize,
 }
 
 impl<'a> SymbolicFaultSim<'a> {
@@ -350,7 +356,19 @@ impl<'a> SymbolicFaultSim<'a> {
             frame: 0,
             gc_threshold: 1 << 20,
             degraded_terms: 0,
+            trace_offset: 0,
+            last_frame_events: 0,
         }
+    }
+
+    /// Sets the offset added to the internal frame counter when labelling
+    /// trace events (the simulation itself is unaffected). The hybrid
+    /// simulator, which builds a fresh `SymbolicFaultSim` per symbolic
+    /// phase, sets this to the phase's global start frame so
+    /// [`TraceEvent::SymFrame`] events number frames of the whole run, not
+    /// of the phase.
+    pub fn set_trace_frame_offset(&mut self, offset: usize) {
+        self.trace_offset = offset;
     }
 
     /// Sets the live-node limit of the underlying manager (the paper uses
@@ -373,8 +391,15 @@ impl<'a> SymbolicFaultSim<'a> {
     /// strategies have no rename and sift every variable independently.
     /// Returns the number of live nodes the pass shed.
     pub fn reorder_sift(&mut self) -> usize {
+        self.reorder_sift_traced(&mut motsim_trace::NullSink)
+    }
+
+    /// Like [`reorder_sift`](Self::reorder_sift), additionally reporting the
+    /// pass to `sink` as one [`TraceEvent::SiftPass`] (via
+    /// [`BddManager::sift_traced`]).
+    pub fn reorder_sift_traced(&mut self, sink: &mut dyn TraceSink) -> usize {
         let groups: Vec<Vec<VarId>> = self.rename_map.iter().map(|&(x, y)| vec![x, y]).collect();
-        self.mgr.sift(&groups, 1.2)
+        self.mgr.sift_traced(&groups, 1.2, sink)
     }
 
     /// The strategy this simulator applies.
@@ -501,7 +526,7 @@ impl<'a> SymbolicFaultSim<'a> {
     /// # Errors
     ///
     /// Fails with [`BddError::NodeLimit`] if a node limit is configured and
-    /// hit (use [`crate::hybrid::hybrid_run`] to survive that).
+    /// hit (use [`crate::hybrid::run_traced`] to survive that).
     pub fn run(
         mut self,
         seq: &TestSequence,
@@ -536,6 +561,38 @@ impl<'a> SymbolicFaultSim<'a> {
                 self.step_attempt(inputs)
             }
         }
+    }
+
+    /// Like [`step`](Self::step), additionally reporting a successful frame
+    /// to `sink` as one [`TraceEvent::SymFrame`] carrying the manager's
+    /// live/peak node counts, its cumulative ITE-cache counters, the fault
+    /// events propagated (total nets of faulty machines that diverged from
+    /// the fault-free frame) and the faults newly detected. A failed step
+    /// emits nothing — the caller decides how to report the limit hit (the
+    /// hybrid simulator emits [`TraceEvent::NodeLimit`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] exactly as [`step`](Self::step).
+    pub fn step_traced(
+        &mut self,
+        inputs: &[bool],
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<Fault>, BddError> {
+        let newly = self.step(inputs)?;
+        if sink.enabled() {
+            let stats = self.mgr.stats();
+            sink.event(&TraceEvent::SymFrame {
+                frame: self.trace_offset + self.frame - 1,
+                live: stats.live_nodes,
+                peak: stats.peak_live_nodes,
+                hits: stats.cache_hits,
+                misses: stats.cache_misses,
+                events: self.last_frame_events,
+                detected: newly.len(),
+            });
+        }
+        Ok(newly)
     }
 
     fn step_attempt(&mut self, inputs: &[bool]) -> Result<Vec<Fault>, BddError> {
@@ -583,7 +640,9 @@ impl<'a> SymbolicFaultSim<'a> {
 
         // 4. Commit.
         let mut newly = Vec::new();
+        let mut frame_events = 0usize;
         for u in updates {
+            frame_events += u.events;
             let rec = &mut self.records[u.index];
             rec.det = u.det;
             rec.state = u.state;
@@ -594,6 +653,7 @@ impl<'a> SymbolicFaultSim<'a> {
                 }
             }
         }
+        self.last_frame_events = frame_events;
         self.values = values;
         self.true_state = next_state;
         self.frame += 1;
@@ -927,6 +987,7 @@ fn propagate_fault(
         det,
         state,
         detection,
+        events: dirty.len(),
     })
 }
 

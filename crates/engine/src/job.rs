@@ -9,18 +9,23 @@
 //! `mpsc` channel tagged with the unit id; the reducer sorts by unit id and
 //! merges with [`SimOutcome::merge`], so the final outcome is identical to
 //! the sequential run for any worker count.
+//!
+//! Trace streams obey the same discipline: [`run_traced`] records every
+//! unit's [`TraceEvent`]s into a private per-unit buffer and replays the
+//! buffers in unit-id order, so the merged stream is byte-identical for
+//! every worker count too.
 
 use std::collections::VecDeque;
 use std::sync::mpsc::{self, Sender};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use motsim::hybrid::{hybrid_run, HybridConfig};
-use motsim::sim3::FaultSim3;
-use motsim::symbolic::{Strategy, SymbolicFaultSim};
-use motsim::{Fault, SimOutcome, TestSequence};
-use motsim_bdd::BddError;
+use motsim::engine_api::{FaultSimEngine, HybridEngine, Sim3Engine, SimConfig, SymbolicEngine};
+use motsim::hybrid::HybridConfig;
+use motsim::symbolic::Strategy;
+use motsim::{Fault, SimError, SimOutcome, TestSequence};
 use motsim_netlist::Netlist;
+use motsim_trace::{CollectSink, NullSink, TraceEvent, TraceSink};
 
 use crate::partition::{default_units, FaultPartitioner, PartitionPolicy, WorkUnit};
 
@@ -38,7 +43,7 @@ pub enum EngineKind {
 /// A batch fault-simulation job.
 ///
 /// Construct with [`Job::new`], tune with the builder-style setters, then
-/// execute with [`run`] or [`run_with_progress`].
+/// execute with [`run`] or [`run_traced`].
 #[derive(Debug, Clone, Copy)]
 pub struct Job<'a> {
     /// The circuit under test.
@@ -117,6 +122,10 @@ pub struct JobResult {
 }
 
 /// Progress events emitted by [`run_with_progress`], in wall-clock order.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `run_traced`; the `unit_start`/`unit_end` trace events carry the same information deterministically"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Progress {
     /// A worker popped a unit off the queue.
@@ -139,42 +148,55 @@ pub enum Progress {
     },
 }
 
-/// Errors of the engine layer.
+/// The engine layer's error: a shard's [`SimError`], tagged with the
+/// failing work unit.
+///
+/// Reported for the *lowest-id* failing unit (all units still run), so the
+/// error is as deterministic as the success path. Use
+/// [`EngineKind::Hybrid`] to absorb symbolic node limits instead of
+/// failing.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EngineError {
-    /// A symbolic shard hit the manager's live-node limit. Reported for the
-    /// lowest-id failing unit; use [`EngineKind::Hybrid`] to absorb limits.
-    Bdd {
-        /// The unit whose shard failed.
-        unit: usize,
-        /// The underlying BDD error.
-        source: BddError,
-    },
+pub struct EngineError {
+    /// The work unit whose shard failed, if the failure happened inside
+    /// the worker pool (`None` for job-level failures, e.g. a config
+    /// rejected before partitioning).
+    pub unit: Option<usize>,
+    /// The underlying simulation error.
+    pub source: SimError,
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EngineError::Bdd { unit, source } => {
-                write!(f, "work unit {unit}: {source}")
-            }
+        match self.unit {
+            Some(unit) => write!(f, "work unit {unit}: {}", self.source),
+            None => self.source.fmt(f),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
-/// Runs `job` to completion. See [`run_with_progress`].
+impl From<SimError> for EngineError {
+    fn from(source: SimError) -> Self {
+        EngineError { unit: None, source }
+    }
+}
+
+/// Runs `job` to completion without tracing. See [`run_traced`].
 ///
 /// # Errors
 ///
-/// Fails with [`EngineError::Bdd`] if a [`EngineKind::Symbolic`] shard hits
-/// a node limit (the default symbolic configuration has none).
+/// Fails with [`EngineError`] if a [`EngineKind::Symbolic`] shard hits a
+/// node limit (the default symbolic configuration has none).
 pub fn run(job: &Job) -> Result<JobResult, EngineError> {
-    run_with_progress(job, None)
+    run_traced(job, &mut NullSink)
 }
 
-/// Runs `job` to completion, emitting [`Progress`] events on `progress`.
+/// Runs `job` to completion, replaying every shard's trace into `sink`.
 ///
 /// The fault list is partitioned into work units (count independent of
 /// `job.jobs`), the units are executed by `job.jobs` workers pulling from a
@@ -182,14 +204,123 @@ pub fn run(job: &Job) -> Result<JobResult, EngineError> {
 /// outcomes are merged in unit-id order into one [`SimOutcome`] sorted by
 /// fault. The merged result is byte-identical for every worker count.
 ///
-/// A dropped receiver only silences progress events; the job still runs to
-/// completion.
+/// When `sink` is enabled, each worker records its unit's [`TraceEvent`]s
+/// into a private buffer; after all units finish, the reducer replays the
+/// buffers in unit-id order, bracketing each with
+/// [`UnitStart`](TraceEvent::UnitStart) / [`UnitEnd`](TraceEvent::UnitEnd)
+/// (the per-unit engine's `run_start`/`run_end` appear inside the
+/// bracket). Events carry no worker indices and no timestamps, so the
+/// merged stream — like the merged outcome — is byte-identical for every
+/// worker count. A disabled sink (e.g. [`NullSink`]) skips all buffering.
 ///
 /// # Errors
 ///
-/// Fails with [`EngineError::Bdd`] if a [`EngineKind::Symbolic`] shard hits
-/// a node limit. The error is deterministic too: all units still run, and
-/// the lowest-id failure is reported.
+/// Fails with [`EngineError`] if a shard's engine fails (a
+/// [`EngineKind::Symbolic`] node-limit hit, or an invalid configuration).
+/// All units still run and their traces are still replayed; the lowest-id
+/// failure is reported.
+pub fn run_traced(job: &Job, sink: &mut dyn TraceSink) -> Result<JobResult, EngineError> {
+    let start = Instant::now();
+    let units = job.units.unwrap_or_else(|| default_units(job.faults.len()));
+    let plan = FaultPartitioner::new(job.netlist, job.policy).partition(job.faults, units);
+    let n_units = plan.len();
+    let workers = job.jobs.clamp(1, n_units.max(1));
+    let tracing = sink.enabled();
+    // Shard sizes by unit id, for the `unit_start` events the reducer emits.
+    let mut unit_faults = vec![0usize; n_units];
+    for unit in &plan {
+        unit_faults[unit.id] = unit.faults.len();
+    }
+
+    let queue: Mutex<VecDeque<WorkUnit>> = Mutex::new(plan.into());
+    type Part = (usize, Result<SimOutcome, SimError>, Vec<TraceEvent>);
+    let (tx, rx) = mpsc::channel::<Part>();
+
+    let mut parts: Vec<Part> = Vec::with_capacity(n_units);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || loop {
+                let unit = queue.lock().expect("queue poisoned").pop_front();
+                let Some(unit) = unit else { break };
+                let mut collect = CollectSink::new();
+                let mut null = NullSink;
+                let unit_sink: &mut dyn TraceSink = if tracing { &mut collect } else { &mut null };
+                let result = run_unit(job, &unit.faults, unit_sink);
+                if tx.send((unit.id, result, collect.into_events())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Drain while workers run; the scope joins them afterwards.
+        for part in rx {
+            parts.push(part);
+        }
+    });
+
+    parts.sort_by_key(|(id, _, _)| *id);
+    let mut outcomes = Vec::with_capacity(parts.len());
+    let mut failed: Option<EngineError> = None;
+    for (unit, result, events) in parts {
+        if tracing {
+            sink.event(&TraceEvent::UnitStart {
+                unit,
+                faults: unit_faults[unit],
+            });
+            for event in &events {
+                sink.event(event);
+            }
+            sink.event(&TraceEvent::UnitEnd {
+                unit,
+                detected: result.as_ref().map(SimOutcome::num_detected).unwrap_or(0),
+            });
+        }
+        match result {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(source) => {
+                // Keep replaying later units' traces, but report the
+                // lowest-id failure.
+                if failed.is_none() {
+                    failed = Some(EngineError {
+                        unit: Some(unit),
+                        source,
+                    });
+                }
+            }
+        }
+    }
+    if let Some(err) = failed {
+        return Err(err);
+    }
+    let mut outcome = SimOutcome::merge(outcomes);
+    // An empty plan still reports the sequence length it (vacuously) ran.
+    outcome.frames = job.seq.len();
+    Ok(JobResult {
+        outcome,
+        units: n_units,
+        workers,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Runs `job` to completion, emitting [`Progress`] events on `progress`.
+///
+/// Unlike trace events, progress events arrive in wall-clock order and
+/// carry worker indices, so their stream differs run to run; the job's
+/// *result* is still deterministic. A dropped receiver only silences the
+/// events; the job runs to completion.
+///
+/// # Errors
+///
+/// Fails with [`EngineError`] if a [`EngineKind::Symbolic`] shard hits a
+/// node limit; the lowest-id failure is reported.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `run_traced`; the `unit_start`/`unit_end` trace events carry the same information deterministically"
+)]
+#[allow(deprecated)]
 pub fn run_with_progress(
     job: &Job,
     progress: Option<&Sender<Progress>>,
@@ -201,9 +332,9 @@ pub fn run_with_progress(
     let workers = job.jobs.clamp(1, n_units.max(1));
 
     let queue: Mutex<VecDeque<WorkUnit>> = Mutex::new(plan.into());
-    let (tx, rx) = mpsc::channel::<(usize, Result<SimOutcome, BddError>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<SimOutcome, SimError>)>();
 
-    let mut parts: Vec<(usize, Result<SimOutcome, BddError>)> = Vec::with_capacity(n_units);
+    let mut parts: Vec<(usize, Result<SimOutcome, SimError>)> = Vec::with_capacity(n_units);
     std::thread::scope(|s| {
         for worker in 0..workers {
             let tx = tx.clone();
@@ -219,7 +350,7 @@ pub fn run_with_progress(
                         faults: unit.faults.len(),
                     });
                 }
-                let result = run_unit(job, &unit.faults);
+                let result = run_unit(job, &unit.faults, &mut NullSink);
                 if let Some(p) = &progress {
                     let _ = p.send(Progress::UnitFinished {
                         unit: unit.id,
@@ -244,7 +375,12 @@ pub fn run_with_progress(
     for (unit, result) in parts {
         match result {
             Ok(outcome) => outcomes.push(outcome),
-            Err(source) => return Err(EngineError::Bdd { unit, source }),
+            Err(source) => {
+                return Err(EngineError {
+                    unit: Some(unit),
+                    source,
+                })
+            }
         }
     }
     let mut outcome = SimOutcome::merge(outcomes);
@@ -258,28 +394,39 @@ pub fn run_with_progress(
     })
 }
 
-/// Simulates one shard in a fresh engine instance (fresh BDD manager for
-/// the symbolic engines — the fault-independent MOT factors `E_j(x, y)` are
-/// recomputed per shard, which is the price of manager isolation).
-fn run_unit(job: &Job, faults: &[Fault]) -> Result<SimOutcome, BddError> {
+/// Simulates one shard through the unified [`engine_api`](motsim::engine_api),
+/// in a fresh engine instance (fresh BDD manager for the symbolic engines —
+/// the fault-independent MOT factors `E_j(x, y)` are recomputed per shard,
+/// which is the price of manager isolation).
+fn run_unit(job: &Job, faults: &[Fault], sink: &mut dyn TraceSink) -> Result<SimOutcome, SimError> {
     match job.engine {
-        EngineKind::Sim3 => Ok(FaultSim3::run(job.netlist, job.seq, faults.iter().copied())),
-        EngineKind::Symbolic(strategy) => {
-            SymbolicFaultSim::new(job.netlist, strategy).run(job.seq, faults.iter().copied())
+        EngineKind::Sim3 => {
+            Sim3Engine.run(job.netlist, job.seq, faults, SimConfig::new().sink(sink))
         }
-        EngineKind::Hybrid(strategy, config) => Ok(hybrid_run(
+        EngineKind::Symbolic(strategy) => SymbolicEngine.run(
             job.netlist,
-            strategy,
             job.seq,
-            faults.iter().copied(),
-            config,
-        )),
+            faults,
+            SimConfig::new().strategy(strategy).sink(sink),
+        ),
+        EngineKind::Hybrid(strategy, config) => HybridEngine.run(
+            job.netlist,
+            job.seq,
+            faults,
+            SimConfig::new()
+                .strategy(strategy)
+                .node_limit(Some(config.node_limit))
+                .fallback_frames(config.fallback_frames)
+                .reorder(config.reorder)
+                .sink(sink),
+        ),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use motsim::sim3::FaultSim3;
     use motsim::FaultList;
 
     fn setup(bits: usize) -> (Netlist, Vec<Fault>, TestSequence) {
@@ -307,7 +454,86 @@ mod tests {
     }
 
     #[test]
-    fn progress_events_cover_all_units() {
+    fn trace_events_cover_all_units_in_id_order() {
+        let (n, faults, seq) = setup(6);
+        let mut sink = CollectSink::new();
+        let r = run_traced(
+            &Job::new(&n, &seq, &faults, EngineKind::Sim3)
+                .jobs(2)
+                .units(5),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(r.units, 5);
+        let started: Vec<usize> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::UnitStart { unit, .. } => Some(*unit),
+                _ => None,
+            })
+            .collect();
+        let ended: Vec<usize> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::UnitEnd { unit, .. } => Some(*unit),
+                _ => None,
+            })
+            .collect();
+        // Unlike the wall-clock Progress stream, the replayed trace is in
+        // unit-id order without sorting.
+        assert_eq!(started, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ended, started);
+        // Each unit's bracket contains its engine run and every frame.
+        let runs = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RunStart { .. }))
+            .count();
+        let tv = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TvFrame { .. }))
+            .count();
+        assert_eq!(runs, 5);
+        assert_eq!(tv, 5 * seq.len());
+        // The per-unit detections sum to the merged outcome's.
+        let detected: usize = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::UnitEnd { detected, .. } => Some(*detected),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(detected, r.outcome.num_detected());
+    }
+
+    #[test]
+    fn merged_trace_is_worker_count_invariant() {
+        let (n, faults, seq) = setup(6);
+        let config = motsim::hybrid::HybridConfig {
+            node_limit: 400,
+            ..Default::default()
+        };
+        let trace_with = |jobs: usize| {
+            let mut sink = CollectSink::new();
+            let job = Job::new(&n, &seq, &faults, EngineKind::Hybrid(Strategy::Mot, config))
+                .jobs(jobs)
+                .units(4);
+            run_traced(&job, &mut sink).unwrap();
+            sink.to_jsonl()
+        };
+        let a = trace_with(1);
+        let b = trace_with(4);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "merged JSONL must not depend on the worker count");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_progress_path_still_works() {
         let (n, faults, seq) = setup(6);
         let (tx, rx) = mpsc::channel();
         let r = run_with_progress(
@@ -319,23 +545,18 @@ mod tests {
         .unwrap();
         drop(tx);
         let events: Vec<Progress> = rx.iter().collect();
-        let started: Vec<usize> = events
+        let mut started: Vec<usize> = events
             .iter()
             .filter_map(|e| match e {
                 Progress::UnitStarted { unit, .. } => Some(*unit),
                 _ => None,
             })
             .collect();
-        let finished = events
-            .iter()
-            .filter(|e| matches!(e, Progress::UnitFinished { .. }))
-            .count();
+        started.sort_unstable();
         assert_eq!(r.units, 5);
-        assert_eq!(started.len(), 5);
-        assert_eq!(finished, 5);
-        let mut sorted = started.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_eq!(started, vec![0, 1, 2, 3, 4]);
+        let direct = run(&Job::new(&n, &seq, &faults, EngineKind::Sim3).units(5)).unwrap();
+        assert_eq!(r.outcome, direct.outcome);
     }
 
     #[test]
@@ -350,7 +571,7 @@ mod tests {
             // Hybrid absorbs limits, so provoke the error symbolically via
             // a manager too small for even one frame.
             match run(&job) {
-                Err(EngineError::Bdd { unit, .. }) => Some(unit),
+                Err(e) => e.unit,
                 Ok(_) => None,
             }
         };

@@ -22,6 +22,14 @@
 //! for every `jobs` value** — including [`EngineKind::Hybrid`] runs, whose
 //! node-limit fallbacks are confined to the unit that triggered them.
 //!
+//! The same discipline extends to telemetry: [`run_traced`] records each
+//! unit's [`motsim_trace::TraceEvent`]s into a private buffer and replays
+//! the buffers in unit-id order into the caller's sink, so the merged
+//! JSONL stream is also byte-identical for every worker count. Each unit
+//! runs through the unified [`motsim::engine_api`], so shards emit exactly
+//! the events a direct [`FaultSimEngine::run`](motsim::FaultSimEngine::run)
+//! call would.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +51,8 @@ mod job;
 mod partition;
 mod xred;
 
-pub use job::{run, run_with_progress, EngineError, EngineKind, Job, JobResult, Progress};
+pub use job::{run, run_traced, EngineError, EngineKind, Job, JobResult};
+#[allow(deprecated)]
+pub use job::{run_with_progress, Progress};
 pub use partition::{default_units, FaultPartitioner, PartitionPolicy, WorkUnit};
 pub use xred::xred_partition;

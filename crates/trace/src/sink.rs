@@ -1,0 +1,213 @@
+//! The sink contract and the three standard sinks.
+
+use std::io::{self, Write};
+
+use crate::event::TraceEvent;
+
+/// Receiver of [`TraceEvent`]s.
+///
+/// The contract, relied on by every instrumented engine:
+///
+/// - **Emitters guard with [`enabled`](Self::enabled).** An emitter may
+///   only skip *building* an event when `enabled()` is `false`; a sink
+///   must answer `enabled()` consistently for its whole lifetime.
+/// - **Events arrive in causal order** within one engine run: frame
+///   events are non-decreasing in frame number, and phase markers
+///   (`NodeLimit`, `SiftPass`, `FallbackEnter`/`Exit`) appear between the
+///   frames they explain.
+/// - **Sinks never fail the simulation.** `event` is infallible; sinks
+///   with fallible backends (like [`JsonlSink`]) latch their first error
+///   for the caller to collect afterwards.
+pub trait TraceSink {
+    /// Receives one event.
+    fn event(&mut self, event: &TraceEvent);
+
+    /// `false` lets emitters skip building events entirely. The default
+    /// is `true`; only no-op sinks should override this.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op sink: every event is discarded and [`enabled`](TraceSink::enabled)
+/// is `false`, so instrumented hot paths reduce to a never-taken branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn event(&mut self, _event: &TraceEvent) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// An in-memory sink collecting every event — the workhorse of tests,
+/// benches, and the sharded engine's per-unit recording.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectSink {
+    events: Vec<TraceEvent>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The events received so far, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, yielding its events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Serializes every collected event as JSONL (one line per event,
+    /// trailing newline included).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn event(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A streaming JSONL writer: one line per event, flushed on
+/// [`finish`](Self::finish).
+///
+/// I/O errors never disturb the simulation ([`TraceSink::event`] is
+/// infallible); the first error is latched and returned by `finish`.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`. Consider a [`io::BufWriter`] for file targets.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the writer, or the first latched I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any event failed to write or the final flush fails.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn event(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_jsonl();
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.event(&TraceEvent::FallbackEnter { frame: 0 });
+    }
+
+    #[test]
+    fn collect_sink_preserves_order() {
+        let mut s = CollectSink::new();
+        assert!(s.enabled());
+        s.event(&TraceEvent::FallbackEnter { frame: 1 });
+        s.event(&TraceEvent::FallbackExit {
+            frame: 3,
+            frames: 2,
+        });
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.events()[0].frame(), Some(1));
+        let jsonl = s.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(s.clone().into_events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.event(&TraceEvent::NodeLimit {
+            frame: 9,
+            limit: 30_000,
+        });
+        s.event(&TraceEvent::SiftPass {
+            swaps: 17,
+            shed: 250,
+        });
+        let bytes = s.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::parse_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::NodeLimit {
+                    frame: 9,
+                    limit: 30_000
+                },
+                TraceEvent::SiftPass {
+                    swaps: 17,
+                    shed: 250
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_latches_write_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = JsonlSink::new(Broken);
+        s.event(&TraceEvent::FallbackEnter { frame: 0 });
+        s.event(&TraceEvent::FallbackEnter { frame: 1 });
+        assert!(s.finish().is_err());
+    }
+}

@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example counter_mot`
 
+use motsim::engine_api::{FaultSimEngine, HybridEngine, SimConfig};
 use motsim::faults::FaultList;
-use motsim::hybrid::{hybrid_run, HybridConfig};
 use motsim::pattern::TestSequence;
 use motsim::sim3::FaultSim3;
 use motsim::symbolic::Strategy;
@@ -45,13 +45,9 @@ fn main() {
         hard.len()
     );
     for strategy in Strategy::ALL {
-        let outcome = hybrid_run(
-            &circuit,
-            strategy,
-            &seq,
-            hard.iter().cloned(),
-            HybridConfig::default(),
-        );
+        let outcome = HybridEngine
+            .run(&circuit, &seq, &hard, SimConfig::new().strategy(strategy))
+            .expect("valid config");
         println!(
             "  {strategy:>4}: {:>3} additional faults detected{}",
             outcome.num_detected(),
@@ -60,20 +56,22 @@ fn main() {
     }
 
     // Show one MOT-only fault with its witness pair of initial states.
-    let mot = hybrid_run(
-        &circuit,
-        Strategy::Mot,
-        &seq,
-        hard.iter().cloned(),
-        HybridConfig::default(),
-    );
-    let rmot = hybrid_run(
-        &circuit,
-        Strategy::Rmot,
-        &seq,
-        hard.iter().cloned(),
-        HybridConfig::default(),
-    );
+    let mot = HybridEngine
+        .run(
+            &circuit,
+            &seq,
+            &hard,
+            SimConfig::new().strategy(Strategy::Mot),
+        )
+        .expect("valid config");
+    let rmot = HybridEngine
+        .run(
+            &circuit,
+            &seq,
+            &hard,
+            SimConfig::new().strategy(Strategy::Rmot),
+        )
+        .expect("valid config");
     let rmot_detected: std::collections::HashSet<_> = rmot.detected_faults().collect();
     let mot_detected: Vec<_> = mot.detected_faults().collect();
     if let Some(f) = mot_detected.iter().find(|f| !rmot_detected.contains(f)) {

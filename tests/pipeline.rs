@@ -1,8 +1,8 @@
 //! End-to-end integration tests: the full paper pipeline on suite circuits,
 //! checking the cross-engine invariants the paper's tables rely on.
 
+use motsim::engine_api::{FaultSimEngine, HybridEngine, SimConfig};
 use motsim::faults::FaultList;
-use motsim::hybrid::{hybrid_run, HybridConfig};
 use motsim::pattern::TestSequence;
 use motsim::sim3::FaultSim3;
 use motsim::symbolic::Strategy;
@@ -36,14 +36,18 @@ fn check_pipeline(netlist: &Netlist, seq: &TestSequence) {
 
     // Strategy comparison on the hard faults.
     let hard: Vec<_> = three_all.undetected_faults().collect();
-    let config = HybridConfig {
-        node_limit: 200_000,
-        fallback_frames: 8,
-        ..Default::default()
-    };
     let mut detected = Vec::new();
     for strategy in Strategy::ALL {
-        let outcome = hybrid_run(netlist, strategy, seq, hard.iter().cloned(), config);
+        let outcome = HybridEngine
+            .run(
+                netlist,
+                seq,
+                &hard,
+                SimConfig::new()
+                    .strategy(strategy)
+                    .node_limit(Some(200_000)),
+            )
+            .expect("valid config");
         detected.push((
             strategy,
             outcome.num_detected(),
@@ -211,18 +215,19 @@ fn pipeline_hybrid_under_pressure() {
         .run(&seq, faults.iter().cloned())
         .unwrap();
     let exact_set: std::collections::HashSet<_> = exact.detected_faults().collect();
+    let fault_vec: Vec<_> = faults.iter().cloned().collect();
     for limit in [300, 3_000, 30_000] {
-        let hyb = hybrid_run(
-            &n,
-            Strategy::Mot,
-            &seq,
-            faults.iter().cloned(),
-            HybridConfig {
-                node_limit: limit,
-                fallback_frames: 4,
-                ..Default::default()
-            },
-        );
+        let hyb = HybridEngine
+            .run(
+                &n,
+                &seq,
+                &fault_vec,
+                SimConfig::new()
+                    .strategy(Strategy::Mot)
+                    .node_limit(Some(limit))
+                    .fallback_frames(4),
+            )
+            .expect("valid config");
         assert_eq!(hyb.frames, 40);
         for f in hyb.detected_faults() {
             assert!(

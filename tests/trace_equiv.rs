@@ -1,0 +1,186 @@
+//! Trace-equivalence suite: telemetry must be a pure observer.
+//!
+//! Three contracts, each load-bearing for the `--trace` feature:
+//!
+//! 1. **Observer purity** — attaching a sink never changes a verdict: the
+//!    `SimOutcome` of a [`NullSink`] run and a [`CollectSink`] run are
+//!    byte-identical for every engine.
+//! 2. **Reconstruction** — a hybrid run's fallback behaviour (the paper's
+//!    space-limit experiments) is recoverable from the stream alone:
+//!    `FallbackEnter`/`FallbackExit` spans sum to the outcome's
+//!    `fallback_frames`, and symbolic + three-valued frames tile the
+//!    sequence exactly.
+//! 3. **Merge determinism** — the sharded engine's merged stream is
+//!    byte-identical for every worker count.
+
+use motsim::engine_api::{FaultSimEngine, HybridEngine, Sim3Engine, SimConfig, SymbolicEngine};
+use motsim::faults::FaultList;
+use motsim::pattern::TestSequence;
+use motsim::symbolic::Strategy;
+use motsim::Fault;
+use motsim_trace::{CollectSink, TraceEvent};
+
+fn setup(name: &str, len: usize, seed: u64) -> (motsim_netlist::Netlist, Vec<Fault>, TestSequence) {
+    let n = motsim_circuits::suite::by_name(name).unwrap();
+    let faults: Vec<Fault> = FaultList::collapsed(&n).into_iter().collect();
+    let seq = TestSequence::random(&n, len, seed);
+    (n, faults, seq)
+}
+
+#[test]
+fn tracing_never_changes_a_verdict() {
+    let (n, faults, seq) = setup("g208", 20, 1);
+    let engines: [(&str, &dyn FaultSimEngine); 3] = [
+        ("sim3", &Sim3Engine),
+        ("symbolic", &SymbolicEngine),
+        ("hybrid", &HybridEngine),
+    ];
+    for (name, engine) in engines {
+        let untraced = engine
+            .run(&n, &seq, &faults, SimConfig::new().strategy(Strategy::Mot))
+            .unwrap();
+        let mut sink = CollectSink::new();
+        let traced = engine
+            .run(
+                &n,
+                &seq,
+                &faults,
+                SimConfig::new().strategy(Strategy::Mot).sink(&mut sink),
+            )
+            .unwrap();
+        assert_eq!(untraced, traced, "{name}: tracing changed the outcome");
+        assert!(
+            !sink.events().is_empty(),
+            "{name}: traced run produced no events"
+        );
+    }
+}
+
+#[test]
+fn hybrid_fallback_is_reconstructible_from_the_stream() {
+    // A limit tight enough to force fallback phases on g298.
+    let (n, faults, seq) = setup("g298", 40, 2);
+    let mut sink = CollectSink::new();
+    let outcome = HybridEngine
+        .run(
+            &n,
+            &seq,
+            &faults,
+            SimConfig::new()
+                .strategy(Strategy::Mot)
+                .node_limit(Some(500))
+                .sink(&mut sink),
+        )
+        .unwrap();
+    assert!(
+        outcome.fallback_frames > 0,
+        "limit 500 must force fallback on g298"
+    );
+
+    let events = sink.events();
+    let sym = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::SymFrame { .. }))
+        .count();
+    let tv = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::TvFrame { .. }))
+        .count();
+    // Symbolic and three-valued frames tile the sequence exactly.
+    assert_eq!(sym + tv, seq.len());
+    assert_eq!(tv, outcome.fallback_frames);
+
+    // Enter/exit brackets pair up and their spans sum to the outcome's
+    // fallback accounting.
+    let enters: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::FallbackEnter { frame } => Some(*frame),
+            _ => None,
+        })
+        .collect();
+    let exits: Vec<(usize, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::FallbackExit { frame, frames } => Some((*frame, *frames)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(enters.len(), exits.len());
+    let span_sum: usize = exits.iter().map(|(_, frames)| *frames).sum();
+    assert_eq!(span_sum, outcome.fallback_frames);
+    for (enter, (exit, frames)) in enters.iter().zip(&exits) {
+        assert_eq!(enter + frames, *exit, "span endpoints disagree");
+    }
+    // Every fallback phase is announced by the node-limit hit causing it.
+    let limits = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeLimit { .. }))
+        .count();
+    assert!(limits >= enters.len());
+
+    // The stream round-trips through its own JSONL encoding.
+    for line in sink.to_jsonl().lines() {
+        TraceEvent::parse_jsonl(line).expect("emitted line must parse");
+    }
+}
+
+#[test]
+fn sharded_trace_is_identical_for_any_worker_count() {
+    let (n, faults, seq) = setup("g208", 30, 3);
+    let config = motsim::hybrid::HybridConfig {
+        node_limit: 1_000,
+        ..Default::default()
+    };
+    let jsonl_with = |jobs: usize| {
+        let mut sink = CollectSink::new();
+        let job = motsim_engine::Job::new(
+            &n,
+            &seq,
+            &faults,
+            motsim_engine::EngineKind::Hybrid(Strategy::Mot, config),
+        )
+        .jobs(jobs)
+        .units(6);
+        motsim_engine::run_traced(&job, &mut sink).unwrap();
+        sink.to_jsonl()
+    };
+    let sequential = jsonl_with(1);
+    let parallel = jsonl_with(8);
+    assert!(!sequential.is_empty());
+    assert_eq!(
+        sequential, parallel,
+        "merged JSONL must not depend on --jobs"
+    );
+    // Unit brackets appear in id order.
+    let starts: Vec<usize> = sequential
+        .lines()
+        .filter_map(|l| match TraceEvent::parse_jsonl(l).unwrap() {
+            TraceEvent::UnitStart { unit, .. } => Some(unit),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts, (0..starts.len()).collect::<Vec<_>>());
+}
+
+#[test]
+fn sim3_engine_emits_one_tv_frame_per_vector() {
+    let (n, faults, seq) = setup("g27", 25, 4);
+    let mut sink = CollectSink::new();
+    let outcome = Sim3Engine
+        .run(&n, &seq, &faults, SimConfig::new().sink(&mut sink))
+        .unwrap();
+    let frames: Vec<usize> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TvFrame { frame, .. } => Some(*frame),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(frames, (0..seq.len()).collect::<Vec<_>>());
+    let Some(TraceEvent::RunEnd { detected, .. }) = sink.events().last() else {
+        panic!("missing run_end");
+    };
+    assert_eq!(*detected, outcome.num_detected());
+}
