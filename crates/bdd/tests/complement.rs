@@ -1,9 +1,9 @@
 //! Always-on randomized tests of the complement-edge invariants.
 //!
-//! The `proptests` feature covers the same ground with proptest shrinking,
-//! but needs network access to fetch the crate; this suite uses a tiny
-//! built-in xorshift generator so the invariants are exercised on every
-//! offline `cargo test` run too.
+//! The `motsim-check` property suites (`crates/check/tests/bdd_props.rs`)
+//! cover the same ground with shrinking; this suite uses a tiny built-in
+//! xorshift generator so the invariants are exercised without any
+//! cross-crate dependency too.
 
 use motsim_bdd::{Bdd, BddManager, VarId};
 

@@ -1,9 +1,9 @@
 //! Always-on randomized tests of dynamic variable reordering.
 //!
-//! Mirrors the `tests/complement.rs` setup: the `proptests` feature covers
-//! the same ground with shrinking, but needs network access to fetch the
-//! crate, so this suite drives the sifter with a dependency-free xorshift
-//! generator on every offline `cargo test` run. The invariants under test
+//! Mirrors the `tests/complement.rs` setup: the `motsim-check` property
+//! suites (`crates/check/tests/bdd_props.rs`) cover the same ground with
+//! shrinking, so this suite drives the sifter with a dependency-free
+//! xorshift generator. The invariants under test
 //! are the ones the engines rely on: sifting never changes what a handle
 //! denotes, never breaks the complement-edge canonical form, and keeps
 //! caller-declared groups (MOT's interleaved `(x, y)` rename pairs)

@@ -1,0 +1,307 @@
+//! Random simulation cases: a circuit, a test sequence, and a fault window.
+//!
+//! A [`SimCase`] is rebuilt deterministically from its [`CaseParams`], so
+//! shrinking is *regeneration at smaller parameters* — halve the flip-flop
+//! count, drop frames, narrow the fault window — rather than structural
+//! surgery on the netlist, and a reproducer is just the parameter record
+//! plus a `.bench` dump.
+
+use crate::Shrinker;
+use motsim::faults::{Fault, FaultList};
+use motsim::pattern::TestSequence;
+use motsim_circuits::generators::{fsm, random_circuit, FsmParams, RandomParams};
+use motsim_netlist::Netlist;
+use motsim_rng::SmallRng;
+use std::fmt::Write as _;
+
+/// Which generator family a case draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// `generators::random_circuit` — unstructured random logic.
+    Random,
+    /// `generators::fsm` — sum-of-products next-state machines with an
+    /// optional synchronizing reset.
+    Fsm,
+}
+
+/// The deterministic recipe a [`SimCase`] is regenerated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseParams {
+    /// Generator family.
+    pub family: Family,
+    /// Seed fed to the circuit generator.
+    pub circuit_seed: u64,
+    /// Number of primary inputs (FSM: per-transition input bits).
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops (FSM: state bits).
+    pub dffs: usize,
+    /// Target gate count (`Random` family only).
+    pub gates: usize,
+    /// Length of the test sequence in frames.
+    pub frames: usize,
+    /// Seed for the random test sequence.
+    pub seq_seed: u64,
+    /// Start of the fault window within the collapsed fault list.
+    pub fault_lo: usize,
+    /// Width of the fault window; `0` means the full collapsed list.
+    pub fault_len: usize,
+}
+
+/// One concrete fuzzing case, ready to run through the engines.
+#[derive(Debug, Clone)]
+pub struct SimCase {
+    /// The recipe this case was built from.
+    pub params: CaseParams,
+    /// The generated circuit.
+    pub netlist: Netlist,
+    /// The test sequence to simulate.
+    pub seq: TestSequence,
+    /// The faults under consideration (a window of the collapsed list,
+    /// sorted by fault id).
+    pub faults: Vec<Fault>,
+}
+
+impl SimCase {
+    /// Draws random parameters (circuit sizes bounded so the exhaustive
+    /// oracle stays usable: at most `max_dffs` flip-flops, clamped to
+    /// `1..=16`) and builds the case.
+    pub fn generate(rng: &mut SmallRng, max_dffs: usize) -> SimCase {
+        let max_dffs = max_dffs.clamp(1, 16);
+        let family = if rng.gen_bool(0.5) {
+            Family::Random
+        } else {
+            Family::Fsm
+        };
+        let params = match family {
+            Family::Random => CaseParams {
+                family,
+                circuit_seed: rng.next_u64(),
+                inputs: rng.gen_range(2..5),
+                outputs: rng.gen_range(2..4),
+                dffs: rng.gen_range(1..=max_dffs.min(6)),
+                gates: rng.gen_range(8..28),
+                frames: rng.gen_range(2..10),
+                seq_seed: rng.next_u64(),
+                fault_lo: rng.gen_range(0..4),
+                fault_len: rng.gen_range(0..12),
+            },
+            Family::Fsm => CaseParams {
+                family,
+                circuit_seed: rng.next_u64(),
+                inputs: rng.gen_range(2..4),
+                outputs: rng.gen_range(1..3),
+                dffs: rng.gen_range(1..=max_dffs.min(6)),
+                gates: 0,
+                frames: rng.gen_range(2..10),
+                seq_seed: rng.next_u64(),
+                fault_lo: rng.gen_range(0..4),
+                fault_len: rng.gen_range(0..12),
+            },
+        };
+        SimCase::build(params)
+    }
+
+    /// Rebuilds the case from its recipe (deterministic).
+    pub fn build(params: CaseParams) -> SimCase {
+        let netlist = match params.family {
+            Family::Random => random_circuit(
+                "fuzz",
+                params.circuit_seed,
+                RandomParams {
+                    inputs: params.inputs,
+                    outputs: params.outputs,
+                    dffs: params.dffs,
+                    gates: params.gates.max(1),
+                    max_fanin: 3,
+                },
+            ),
+            Family::Fsm => fsm(
+                "fuzz",
+                params.circuit_seed,
+                FsmParams {
+                    state_bits: params.dffs,
+                    inputs: params.inputs,
+                    outputs: params.outputs,
+                    terms: 2,
+                    literals: 3,
+                    reset: params.circuit_seed.is_multiple_of(2),
+                    sync_bits: params.dffs / 2,
+                },
+            ),
+        };
+        let seq = TestSequence::random(&netlist, params.frames.max(1), params.seq_seed);
+        let all: Vec<Fault> = FaultList::collapsed(&netlist).into_iter().collect();
+        let faults = if params.fault_len == 0 || params.fault_lo >= all.len() {
+            all
+        } else {
+            let lo = params.fault_lo.min(all.len() - 1);
+            let hi = (lo + params.fault_len).min(all.len());
+            all[lo..hi].to_vec()
+        };
+        SimCase {
+            params,
+            netlist,
+            seq,
+            faults,
+        }
+    }
+
+    /// A self-contained textual reproducer: the parameter record, the
+    /// sequence, the fault window, and the circuit in `.bench` form.
+    pub fn reproducer(&self) -> String {
+        let p = &self.params;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# case: family={:?} circuit_seed={:#x} seq_seed={:#x} \
+             inputs={} outputs={} dffs={} gates={} frames={} \
+             fault_lo={} fault_len={}",
+            p.family,
+            p.circuit_seed,
+            p.seq_seed,
+            p.inputs,
+            p.outputs,
+            p.dffs,
+            p.gates,
+            p.frames,
+            p.fault_lo,
+            p.fault_len,
+        );
+        let _ = writeln!(s, "# sequence ({} frames):", self.seq.len());
+        for vector in &self.seq {
+            let bits: String = vector.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            let _ = writeln!(s, "#   {bits}");
+        }
+        let _ = writeln!(s, "# faults ({}):", self.faults.len());
+        for f in &self.faults {
+            let _ = writeln!(s, "#   {}", f.display(&self.netlist));
+        }
+        s.push_str(&motsim_netlist::write::to_bench(&self.netlist));
+        s
+    }
+}
+
+impl Shrinker for SimCase {
+    fn candidates(&self) -> Vec<Self> {
+        let p = self.params;
+        let mut recipes: Vec<CaseParams> = Vec::new();
+        // Most aggressive first: collapse the family, then halve the big
+        // size knobs, then nibble at the small ones.
+        if p.family == Family::Fsm {
+            recipes.push(CaseParams {
+                family: Family::Random,
+                gates: 8,
+                ..p
+            });
+        }
+        for dffs in [p.dffs / 2, p.dffs - 1] {
+            if dffs >= 1 && dffs < p.dffs {
+                recipes.push(CaseParams { dffs, ..p });
+            }
+        }
+        if p.family == Family::Random {
+            for gates in [p.gates / 2, p.gates.saturating_sub(1)] {
+                if gates >= 1 && gates < p.gates {
+                    recipes.push(CaseParams { gates, ..p });
+                }
+            }
+        }
+        for frames in [p.frames / 2, p.frames - 1] {
+            if frames >= 1 && frames < p.frames {
+                recipes.push(CaseParams { frames, ..p });
+            }
+        }
+        // Narrow the fault window: keep the first half, then the second.
+        let n = self.faults.len();
+        if n > 1 {
+            recipes.push(CaseParams {
+                fault_lo: p.fault_lo,
+                fault_len: n.div_ceil(2),
+                ..p
+            });
+            recipes.push(CaseParams {
+                fault_lo: p.fault_lo + n / 2,
+                fault_len: n.div_ceil(2),
+                ..p
+            });
+        }
+        if p.inputs > 1 {
+            recipes.push(CaseParams {
+                inputs: p.inputs - 1,
+                ..p
+            });
+        }
+        if p.outputs > 1 {
+            recipes.push(CaseParams {
+                outputs: p.outputs - 1,
+                ..p
+            });
+        }
+        recipes
+            .into_iter()
+            .filter(|r| r != &p)
+            .map(SimCase::build)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let ca = SimCase::generate(&mut a, 5);
+        let cb = SimCase::generate(&mut b, 5);
+        assert_eq!(ca.params, cb.params);
+        assert_eq!(ca.netlist.num_nets(), cb.netlist.num_nets());
+        assert_eq!(ca.faults, cb.faults);
+    }
+
+    #[test]
+    fn build_round_trips_params() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..8 {
+            let case = SimCase::generate(&mut rng, 6);
+            let rebuilt = SimCase::build(case.params);
+            assert_eq!(case.netlist.num_nets(), rebuilt.netlist.num_nets());
+            assert_eq!(case.faults, rebuilt.faults);
+            assert_eq!(case.seq.len(), rebuilt.seq.len());
+        }
+    }
+
+    #[test]
+    fn dff_bound_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..16 {
+            let case = SimCase::generate(&mut rng, 3);
+            assert!(case.netlist.num_dffs() <= 3);
+        }
+    }
+
+    #[test]
+    fn candidates_are_smaller_and_rebuildable() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let case = SimCase::generate(&mut rng, 6);
+        let cands = case.candidates();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert_ne!(c.params, case.params);
+            assert!(c.params.dffs <= case.params.dffs);
+            assert!(c.params.frames <= case.params.frames);
+        }
+    }
+
+    #[test]
+    fn reproducer_contains_bench_and_params() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let case = SimCase::generate(&mut rng, 4);
+        let repro = case.reproducer();
+        assert!(repro.contains("# case: family="));
+        assert!(repro.contains("INPUT("));
+    }
+}

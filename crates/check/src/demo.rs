@@ -1,0 +1,73 @@
+//! A deliberately buggy engine wrapper proving the harness catches and
+//! shrinks real verdict flips.
+//!
+//! [`VerdictFlipEngine`] delegates to [`Sim3Engine`] and then inverts the
+//! first fault's verdict — the smallest possible "miscompare" a broken
+//! engine could produce. The property [`flipped_engine_matches_sim3`] is
+//! therefore false on every case, and the regression suite asserts that
+//! [`forall`](crate::forall) not only finds the violation but shrinks it
+//! to a minimal reproducer (a handful of gates and frames).
+
+use crate::SimCase;
+use motsim::engine_api::{FaultSimEngine, Sim3Engine, SimConfig};
+use motsim::report::{Detection, SimError, SimOutcome};
+use motsim::{Fault, TestSequence};
+use motsim_netlist::Netlist;
+
+/// A test-only engine that flips the verdict of the first fault.
+pub struct VerdictFlipEngine;
+
+impl FaultSimEngine for VerdictFlipEngine {
+    fn run(
+        &self,
+        netlist: &Netlist,
+        seq: &TestSequence,
+        faults: &[Fault],
+        config: SimConfig<'_>,
+    ) -> Result<SimOutcome, SimError> {
+        let mut outcome = Sim3Engine.run(netlist, seq, faults, config)?;
+        if let Some(first) = outcome.results.first_mut() {
+            first.detection = match first.detection {
+                Some(_) => None,
+                None => Some(Detection {
+                    frame: 0,
+                    output: 0,
+                }),
+            };
+        }
+        Ok(outcome)
+    }
+}
+
+/// The (false) law that [`VerdictFlipEngine`] agrees with [`Sim3Engine`].
+/// Used by the injected-bug regression to exercise the shrinker end to end.
+pub fn flipped_engine_matches_sim3(case: &SimCase) -> Result<(), String> {
+    let reference = Sim3Engine
+        .run(&case.netlist, &case.seq, &case.faults, SimConfig::new())
+        .map_err(|e| format!("engine failed: {e}"))?;
+    let buggy = VerdictFlipEngine
+        .run(&case.netlist, &case.seq, &case.faults, SimConfig::new())
+        .map_err(|e| format!("engine failed: {e}"))?;
+    for (r, b) in reference.results.iter().zip(&buggy.results) {
+        if r.detection.is_some() != b.detection.is_some() {
+            return Err(format!(
+                "verdict mismatch for fault {}",
+                r.fault.display(&case.netlist)
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motsim_rng::SmallRng;
+
+    #[test]
+    fn flip_engine_always_disagrees() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let case = SimCase::generate(&mut rng, 4);
+        assert!(flipped_engine_matches_sim3(&case).is_err());
+    }
+}

@@ -15,6 +15,7 @@
 //! motsim scoap      <circuit>
 //! motsim list
 //! motsim trace-check <file.jsonl>
+//! motsim fuzz [--seed S] [--cases N] [--max-dffs M]
 //! ```
 //!
 //! `<circuit>` is either a built-in suite name (`g208`, `g298`, … — see
@@ -56,6 +57,13 @@ commands:
   scoap       SCOAP testability measures (CC0/CC1/CO per net)
   list        list the built-in benchmark suite
   trace-check validate a --trace JSONL file (schema + frame monotonicity)
+  fuzz        differential fuzzing: random circuits through every engine,
+              cross-checked law by law; counterexamples are shrunk to
+              minimal reproducers. Takes no <circuit>; options:
+              --seed S (master seed), --cases N (cases per law, default
+              32), --max-dffs M (flip-flop cap 1..=16, default 5).
+              Output is deterministic in the options; exits 1 if any
+              law is violated
 
 <circuit> is a suite name (try `motsim list`) or a .bench file path.
 
@@ -355,6 +363,10 @@ fn main() {
         cmd_trace_check(path);
         return;
     }
+    if cmd == "fuzz" {
+        cmd_fuzz(&args[1..]);
+        return;
+    }
     let Some(circuit) = args.get(1) else {
         die("missing circuit")
     };
@@ -430,6 +442,90 @@ fn cmd_trace_check(path: &str) {
         "{path}: {events} event(s), {runs} engine run(s), {units} unit bracket(s); \
          frames monotone per unit"
     );
+}
+
+/// Differential fuzzing over random circuits: every law from
+/// `motsim-check`, each over `--cases` random cases; counterexamples are
+/// shrunk and dumped as self-contained reproducers. The output carries no
+/// timing, so two runs with identical options are byte-identical.
+fn cmd_fuzz(args: &[String]) {
+    let mut seed: u64 = 0xDAC95;
+    let mut cases: usize = 32;
+    let mut max_dffs: usize = 5;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> &str {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs {what}")))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let v = value("a seed");
+                seed = v
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| v.parse())
+                    .unwrap_or_else(|_| die(&format!("invalid seed `{v}`")));
+            }
+            "--cases" => {
+                let v = value("a count");
+                cases = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid case count `{v}`")));
+            }
+            "--max-dffs" => {
+                let v = value("a flip-flop cap");
+                max_dffs = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid flip-flop cap `{v}`")));
+            }
+            other => die(&format!("unknown fuzz option `{other}`")),
+        }
+    }
+    if cases == 0 {
+        die("--cases must be at least 1");
+    }
+    if !(1..=16).contains(&max_dffs) {
+        die("--max-dffs must be in 1..=16 (the oracle enumerates 2^m states)");
+    }
+
+    let config = motsim_check::Config {
+        cases,
+        seed,
+        ..motsim_check::Config::default()
+    };
+    let reports = motsim_check::fuzz(&config, max_dffs);
+    let laws = reports.len();
+    let mut bad = 0usize;
+    for report in reports {
+        match report.counterexample {
+            None => println!("ok   {:<26} {} case(s)", report.law, report.cases),
+            Some(cex) => {
+                bad += 1;
+                println!(
+                    "FAIL {:<26} case {} (seed {:#x}), {} shrink step(s): {}",
+                    report.law, cex.case_index, cex.case_seed, cex.shrink_steps, cex.message
+                );
+                println!(
+                    "     shrunk to {} gate(s), {} flip-flop(s), {} frame(s), {} fault(s):",
+                    cex.shrunk.netlist.num_gates(),
+                    cex.shrunk.netlist.num_dffs(),
+                    cex.shrunk.seq.len(),
+                    cex.shrunk.faults.len()
+                );
+                for line in cex.shrunk.reproducer().lines() {
+                    println!("     {line}");
+                }
+            }
+        }
+    }
+    println!(
+        "fuzz: {laws} law(s), {cases} case(s) each, {bad} counterexample(s) \
+         (seed {seed:#x}, max-dffs {max_dffs})"
+    );
+    if bad > 0 {
+        exit(1);
+    }
 }
 
 fn cmd_list() {

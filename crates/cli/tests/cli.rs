@@ -115,3 +115,73 @@ fn diagnose_names_candidates() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("candidate"));
 }
+
+/// Writes `content` to a fresh temp file and runs `trace-check` on it,
+/// returning (success, stderr).
+fn trace_check(name: &str, content: &str) -> (bool, String) {
+    let dir = std::env::temp_dir().join("motsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    let out = motsim(&["trace-check", path.to_str().unwrap()]);
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn trace_check_rejects_truncated_line() {
+    // Line 1 is valid; line 2 is cut mid-object.
+    let (ok, err) = trace_check(
+        "truncated.jsonl",
+        "{\"ev\":\"run_start\",\"engine\":\"sim3\",\"faults\":1,\"frames\":2}\n\
+         {\"ev\":\"tv_frame\",\"fra\n",
+    );
+    assert!(!ok);
+    assert!(err.contains(":2:"), "must name line 2: {err}");
+}
+
+#[test]
+fn trace_check_rejects_frame_regression() {
+    // Frames must be monotone within a unit bracket: 5 then 2 regresses.
+    let (ok, err) = trace_check(
+        "regress.jsonl",
+        "{\"ev\":\"unit_start\",\"unit\":0,\"faults\":3}\n\
+         {\"ev\":\"tv_frame\",\"frame\":5,\"detected\":0}\n\
+         {\"ev\":\"tv_frame\",\"frame\":2,\"detected\":0}\n",
+    );
+    assert!(!ok);
+    assert!(err.contains(":3:"), "must name line 3: {err}");
+    assert!(err.contains("regresses"), "must explain the failure: {err}");
+}
+
+#[test]
+fn trace_check_rejects_unknown_event_type() {
+    let (ok, err) = trace_check("unknown.jsonl", "{\"ev\":\"hyperdrive\",\"frame\":1}\n");
+    assert!(!ok);
+    assert!(err.contains(":1:"), "must name line 1: {err}");
+    assert!(err.contains("unknown tag"), "must name the bad tag: {err}");
+}
+
+#[test]
+fn fuzz_passes_and_is_deterministic() {
+    let run = || motsim(&["fuzz", "--seed", "7", "--cases", "2", "--max-dffs", "4"]);
+    let a = run();
+    assert!(a.status.success(), "fuzz run failed");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(
+        text.contains("0 counterexample(s)"),
+        "fuzz found counterexamples:\n{text}"
+    );
+    let b = run();
+    assert_eq!(a.stdout, b.stdout, "fuzz output must be deterministic");
+}
+
+#[test]
+fn fuzz_rejects_bad_options() {
+    let out = motsim(&["fuzz", "--max-dffs", "40"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--max-dffs"));
+}

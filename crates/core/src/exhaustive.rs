@@ -21,10 +21,105 @@ use motsim_netlist::Netlist;
 
 use crate::faults::Fault;
 use crate::pattern::TestSequence;
+use crate::report::SimError;
 use crate::simb::{broadcast, eval_frame_u64, next_state_u64};
 
-/// Practical enumeration bound (the oracle is `O(2^m)`).
+/// Default enumeration bound (the oracle is `O(2^m)`); raise or lower it
+/// per call site with [`Oracle::max_dffs`].
 pub const MAX_DFFS: usize = 20;
+
+/// Configurable entry point to the exhaustive oracle.
+///
+/// The free functions ([`verdict`], [`ResponseMatrix::simulate`]) panic
+/// when a circuit exceeds [`MAX_DFFS`]; this builder makes the bound a
+/// parameter and reports the overflow as a recoverable
+/// [`SimError::StateSpace`] instead.
+///
+/// ```
+/// use motsim::exhaustive::Oracle;
+/// use motsim::{Fault, SimError, TestSequence};
+/// use motsim_netlist::Lead;
+///
+/// let circuit = motsim_circuits::generators::counter(4);
+/// let seq = TestSequence::random(&circuit, 6, 1);
+/// let fault = Fault::stuck_at_0(Lead::stem(circuit.find("EN").unwrap()));
+/// // A 4-bit counter fits a bound of 4 …
+/// assert!(Oracle::new().max_dffs(4).verdict(&circuit, &seq, fault).is_ok());
+/// // … but not a bound of 3.
+/// assert!(matches!(
+///     Oracle::new().max_dffs(3).verdict(&circuit, &seq, fault),
+///     Err(SimError::StateSpace { dffs: 4, max_dffs: 3 })
+/// ));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Oracle {
+    max_dffs: usize,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle { max_dffs: MAX_DFFS }
+    }
+}
+
+impl Oracle {
+    /// An oracle with the default [`MAX_DFFS`] bound.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Sets the flip-flop bound (enumeration cost is `2^max_dffs`).
+    pub fn max_dffs(mut self, max_dffs: usize) -> Self {
+        self.max_dffs = max_dffs;
+        self
+    }
+
+    fn check(&self, netlist: &Netlist) -> Result<(), SimError> {
+        let dffs = netlist.num_dffs();
+        if dffs > self.max_dffs {
+            return Err(SimError::StateSpace {
+                dffs,
+                max_dffs: self.max_dffs,
+            });
+        }
+        Ok(())
+    }
+
+    /// The full response matrix of `netlist` (with `fault` injected if
+    /// given) over `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::StateSpace`] when the circuit has more
+    /// flip-flops than this oracle's bound.
+    pub fn response_matrix(
+        &self,
+        netlist: &Netlist,
+        seq: &TestSequence,
+        fault: Option<Fault>,
+    ) -> Result<ResponseMatrix, SimError> {
+        self.check(netlist)?;
+        Ok(ResponseMatrix::simulate_unchecked(netlist, seq, fault))
+    }
+
+    /// Detectability of `fault` under all three strategies.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::StateSpace`] when the circuit has more
+    /// flip-flops than this oracle's bound.
+    pub fn verdict(
+        &self,
+        netlist: &Netlist,
+        seq: &TestSequence,
+        fault: Fault,
+    ) -> Result<Verdict, SimError> {
+        self.check(netlist)?;
+        let good = ResponseMatrix::simulate_unchecked(netlist, seq, None);
+        let bad = ResponseMatrix::simulate_unchecked(netlist, seq, Some(fault));
+        Ok(verdict_from(&good, &bad, seq.len(), netlist.num_outputs()))
+    }
+}
 
 /// The complete response matrix of one machine (fault-free or faulty):
 /// `rows[p]` is the flattened output sequence produced from initial state
@@ -42,13 +137,21 @@ impl ResponseMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit has more than [`MAX_DFFS`] flip-flops.
+    /// Panics if the circuit has more than [`MAX_DFFS`] flip-flops (use
+    /// [`Oracle`] for a configurable bound and a recoverable error).
     pub fn simulate(netlist: &Netlist, seq: &TestSequence, fault: Option<Fault>) -> Self {
         let m = netlist.num_dffs();
         assert!(
             m <= MAX_DFFS,
             "exhaustive oracle limited to {MAX_DFFS} flip-flops"
         );
+        Self::simulate_unchecked(netlist, seq, fault)
+    }
+
+    /// [`simulate`](Self::simulate) without the bound check — callers
+    /// ([`Oracle`]) have already validated the state-space size.
+    fn simulate_unchecked(netlist: &Netlist, seq: &TestSequence, fault: Option<Fault>) -> Self {
+        let m = netlist.num_dffs();
         let states: usize = 1 << m;
         let l = netlist.num_outputs();
         let n = seq.len();
@@ -292,5 +395,37 @@ mod tests {
         let seq = TestSequence::random(&n, 2, 2);
         let m = ResponseMatrix::simulate(&n, &seq, None);
         m.output(0, 2, 0);
+    }
+
+    #[test]
+    fn oracle_bound_is_configurable() {
+        let n = motsim_circuits::generators::counter(5);
+        let seq = TestSequence::random(&n, 4, 1);
+        let f = Fault::stuck_at_1(Lead::stem(n.find("CLR").unwrap()));
+
+        // Default bound (20) and an exactly-fitting bound both work and
+        // agree with the panicking free function.
+        let reference = verdict(&n, &seq, f);
+        assert_eq!(Oracle::new().verdict(&n, &seq, f).unwrap(), reference);
+        assert_eq!(
+            Oracle::new().max_dffs(5).verdict(&n, &seq, f).unwrap(),
+            reference
+        );
+
+        // A too-small bound is a recoverable, named error.
+        let err = Oracle::new().max_dffs(4).verdict(&n, &seq, f).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::StateSpace {
+                dffs: 5,
+                max_dffs: 4
+            }
+        );
+        assert!(err.to_string().contains("5 flip-flops"));
+        assert!(err.to_string().contains("bounded at 4"));
+        assert!(Oracle::new()
+            .max_dffs(4)
+            .response_matrix(&n, &seq, None)
+            .is_err());
     }
 }

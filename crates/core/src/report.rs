@@ -21,6 +21,14 @@ pub enum SimError {
     /// The simulation configuration is invalid (e.g. a node limit of 0, or
     /// zero fallback frames for a hybrid run).
     Config(String),
+    /// The circuit's state space exceeds what the engine can enumerate
+    /// (the exhaustive oracle is `O(2^m)` in the flip-flop count `m`).
+    StateSpace {
+        /// Flip-flops in the offending circuit.
+        dffs: usize,
+        /// The configured enumeration bound.
+        max_dffs: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +36,11 @@ impl fmt::Display for SimError {
         match self {
             SimError::Bdd(e) => write!(f, "{e}"),
             SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::StateSpace { dffs, max_dffs } => write!(
+                f,
+                "circuit has {dffs} flip-flops but the exhaustive oracle is \
+                 bounded at {max_dffs}"
+            ),
         }
     }
 }
@@ -36,7 +49,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Bdd(e) => Some(e),
-            SimError::Config(_) => None,
+            SimError::Config(_) | SimError::StateSpace { .. } => None,
         }
     }
 }

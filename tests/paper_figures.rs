@@ -1,9 +1,10 @@
 //! The paper's Figures 1–3 as golden tests: tiny circuits where the SOT
-//! strategy provably fails and the MOT (or rMOT) strategy succeeds.
+//! strategy provably fails and the MOT (or rMOT) strategy succeeds, plus a
+//! pinned regression over each figure's full collapsed fault list.
 
 use motsim::exhaustive;
 use motsim::symbolic::{Strategy, SymbolicFaultSim};
-use motsim::{Fault, TestSequence};
+use motsim::{Fault, FaultList, TestSequence};
 use motsim_netlist::builder::NetlistBuilder;
 use motsim_netlist::{GateKind, Lead, Netlist};
 
@@ -15,10 +16,9 @@ fn run(netlist: &Netlist, strategy: Strategy, fault: Fault, seq: &TestSequence) 
         == 1
 }
 
-/// Fig. 1: both machines uninitialized; no single observation time works,
-/// but the response sets are disjoint.
-#[test]
-fn fig1_sot_fails_mot_succeeds() {
+/// Fig. 1 circuit and its pinned two-frame sequence: an uninitialized
+/// hold flip-flop XOR-mixed into the output.
+fn fig1() -> (Netlist, TestSequence) {
     let mut b = NetlistBuilder::new("fig1");
     let a = b.add_input("A").unwrap();
     let c = b.add_input("B").unwrap();
@@ -29,8 +29,43 @@ fn fig1_sot_fails_mot_succeeds() {
     let o = b.add_gate("O", GateKind::Xor, vec![x, c]).unwrap();
     b.add_output(o);
     let n = b.finish().unwrap();
-    let fault = Fault::stuck_at_0(Lead::stem(n.find("A").unwrap()));
     let seq = TestSequence::new(2, vec![vec![true, false], vec![false, false]]);
+    (n, seq)
+}
+
+/// Fig. 2 circuit and sequence: the 3-bit counter with the
+/// clear-count-clear-count pattern (clear, count 4, clear, count 8).
+fn fig2() -> (Netlist, TestSequence) {
+    let n = motsim_circuits::generators::counter(3);
+    let mut vectors = vec![vec![false, true]];
+    vectors.extend(std::iter::repeat_n(vec![true, false], 4));
+    vectors.push(vec![false, true]);
+    vectors.extend(std::iter::repeat_n(vec![true, false], 8));
+    let seq = TestSequence::new(2, vectors);
+    (n, seq)
+}
+
+/// Fig. 3 circuit and its pinned sequence: the worked example with
+/// fault-free outputs (x, x̄) and faulty outputs (ȳ, ȳ).
+fn fig3() -> (Netlist, TestSequence) {
+    let mut b = NetlistBuilder::new("fig3");
+    let a = b.add_input("A").unwrap();
+    let q = b.add_dff("Q").unwrap();
+    let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
+    b.connect_dff(q, keep).unwrap();
+    let o = b.add_gate("O", GateKind::Xnor, vec![a, q]).unwrap();
+    b.add_output(o);
+    let n = b.finish().unwrap();
+    let seq = TestSequence::new(1, vec![vec![true], vec![false]]);
+    (n, seq)
+}
+
+/// Fig. 1: both machines uninitialized; no single observation time works,
+/// but the response sets are disjoint.
+#[test]
+fn fig1_sot_fails_mot_succeeds() {
+    let (n, seq) = fig1();
+    let fault = Fault::stuck_at_0(Lead::stem(n.find("A").unwrap()));
 
     assert!(!run(&n, Strategy::Sot, fault, &seq));
     assert!(!run(&n, Strategy::Rmot, fault, &seq));
@@ -45,14 +80,8 @@ fn fig1_sot_fails_mot_succeeds() {
 /// faulty one — undetectable per Definition 2 despite initialization.
 #[test]
 fn fig2_initialization_is_not_enough_for_sot() {
-    let n = motsim_circuits::generators::counter(3);
+    let (n, seq) = fig2();
     let fault = Fault::stuck_at_1(Lead::stem(n.find("NCLR").unwrap()));
-    // Clear, count 4, clear, count 8.
-    let mut vectors = vec![vec![false, true]];
-    vectors.extend(std::iter::repeat_n(vec![true, false], 4));
-    vectors.push(vec![false, true]);
-    vectors.extend(std::iter::repeat_n(vec![true, false], 8));
-    let seq = TestSequence::new(2, vectors);
 
     // The fault-free machine is fully synchronized after the first clear…
     let mut tv = motsim::sim3::TrueSim::new(&n);
@@ -75,16 +104,8 @@ fn fig2_initialization_is_not_enough_for_sot() {
 /// detection function D(x,y) = [x ≡ ȳ]·[x ≡ y] ≡ 0.
 #[test]
 fn fig3_detection_function_collapses() {
-    let mut b = NetlistBuilder::new("fig3");
-    let a = b.add_input("A").unwrap();
-    let q = b.add_dff("Q").unwrap();
-    let keep = b.add_gate("KEEP", GateKind::Buf, vec![q]).unwrap();
-    b.connect_dff(q, keep).unwrap();
-    let o = b.add_gate("O", GateKind::Xnor, vec![a, q]).unwrap();
-    b.add_output(o);
-    let n = b.finish().unwrap();
+    let (n, seq) = fig3();
     let fault = Fault::stuck_at_0(Lead::stem(n.find("A").unwrap()));
-    let seq = TestSequence::new(1, vec![vec![true], vec![false]]);
 
     assert!(!run(&n, Strategy::Sot, fault, &seq));
     assert!(!run(&n, Strategy::Rmot, fault, &seq));
@@ -104,4 +125,62 @@ fn fig3_detection_function_collapses() {
     let seq1 = TestSequence::new(1, vec![vec![true]]);
     assert!(!run(&n, Strategy::Mot, fault, &seq1));
     assert!(t1.any_sat().is_some());
+}
+
+/// Per-strategy detection bitmap over a circuit's full collapsed fault list.
+fn detected_per_strategy(n: &Netlist, seq: &TestSequence) -> [Vec<bool>; 3] {
+    let faults = FaultList::collapsed(n);
+    [Strategy::Sot, Strategy::Rmot, Strategy::Mot].map(|s| {
+        SymbolicFaultSim::new(n, s)
+            .run(seq, faults.iter().copied())
+            .expect("no node limit")
+            .results
+            .iter()
+            .map(|r| r.detection.is_some())
+            .collect()
+    })
+}
+
+/// Regression pin: over each figure's *entire* collapsed fault list, the
+/// strategy hierarchy holds fault by fault (SOT ⊆ rMOT ⊆ MOT) and the
+/// per-strategy detected counts match exactly the values these circuits
+/// have produced since this test was written. Any engine change that
+/// shifts a single verdict on the paper's own examples fails here.
+#[test]
+fn pinned_strategy_counts_on_paper_figures() {
+    // (name, circuit+sequence, pinned [SOT, rMOT, MOT] detected counts).
+    let figures: [(&str, (Netlist, TestSequence), [usize; 3]); 3] = [
+        ("fig1", fig1(), [0, 0, 6]),
+        ("fig2", fig2(), [33, 35, 35]),
+        ("fig3", fig3(), [0, 0, 4]),
+    ];
+    for (name, (n, seq), pinned) in figures {
+        let faults = FaultList::collapsed(&n);
+        let [sot, rmot, mot] = detected_per_strategy(&n, &seq);
+        assert_eq!(sot.len(), faults.len());
+        for (i, &fault) in faults.iter().enumerate() {
+            assert!(
+                (!sot[i] || rmot[i]) && (!rmot[i] || mot[i]),
+                "{name}: containment violated on fault {fault}"
+            );
+            // All three figures fit the exhaustive oracle, so every verdict
+            // is anchored to the brute-force enumeration — the pin below
+            // cannot encode an engine bug.
+            let v = exhaustive::verdict(&n, &seq, fault);
+            assert_eq!(
+                (sot[i], rmot[i], mot[i]),
+                (v.sot, v.rmot, v.mot),
+                "{name}: engine disagrees with the oracle on fault {fault}"
+            );
+        }
+        let counts = [
+            sot.iter().filter(|&&d| d).count(),
+            rmot.iter().filter(|&&d| d).count(),
+            mot.iter().filter(|&&d| d).count(),
+        ];
+        assert_eq!(
+            counts, pinned,
+            "{name}: detected counts drifted from the pinned regression values"
+        );
+    }
 }

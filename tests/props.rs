@@ -1,180 +1,117 @@
-//! Workspace-level property tests: random circuits, random sequences, and
-//! the cross-engine oracles that tie everything together.
+//! Generative cross-engine law checks, driven by `motsim-check`.
 //!
-//! Offline build note: these property tests need the external `proptest`
-//! crate, which cannot be fetched in the offline image. They are gated
-//! behind the non-default `proptests` feature; enabling it additionally
-//! requires re-adding the `proptest` dev-dependency with network access.
-#![cfg(feature = "proptests")]
+//! Each test runs one law from [`motsim_check::laws::all_laws`] over a
+//! batch of random circuit cases — these run in the default offline
+//! `cargo test` (the harness and its RNG are in-tree; no external
+//! property-testing dependency). On failure the case is shrunk and the
+//! panic message carries a self-contained reproducer.
 
-use motsim::exhaustive::{verdict_from, ResponseMatrix};
-use motsim::faults::FaultList;
-use motsim::pattern::TestSequence;
-use motsim::sim3::FaultSim3;
-use motsim::symbolic::{Strategy as Obs, SymbolicFaultSim};
-use motsim::xred::XRedAnalysis;
-use motsim_circuits::generators::{fsm, random_circuit, FsmParams, RandomParams};
-use motsim_netlist::parse::parse_bench;
-use motsim_netlist::write::to_bench;
-use motsim_netlist::Netlist;
-use proptest::prelude::*;
+use motsim_check::laws::all_laws;
+use motsim_check::{forall, Config, SimCase};
 
-/// Small random sequential circuits (≤ 6 flip-flops so the exhaustive
-/// oracle stays fast).
-fn arb_circuit() -> impl Strategy<Value = Netlist> {
-    prop_oneof![
-        (any::<u64>(), 2usize..5, 2usize..4, 1usize..6, 8usize..28).prop_map(
-            |(seed, inputs, outputs, dffs, gates)| random_circuit(
-                "prop",
-                seed,
-                RandomParams {
-                    inputs,
-                    outputs,
-                    dffs,
-                    gates,
-                    max_fanin: 3,
-                }
-            )
-        ),
-        (any::<u64>(), 1usize..6, 2usize..4, 1usize..3).prop_map(
-            |(seed, state_bits, inputs, outputs)| fsm(
-                "prop",
-                seed,
-                FsmParams {
-                    state_bits,
-                    inputs,
-                    outputs,
-                    terms: 2,
-                    literals: 3,
-                    reset: seed % 2 == 0,
-                    sync_bits: state_bits / 2,
-                }
-            )
-        ),
-    ]
+fn run_law(name: &str) {
+    let law = all_laws()
+        .into_iter()
+        .find(|l| l.name == name)
+        .unwrap_or_else(|| panic!("unknown law `{name}`"));
+    let config = Config {
+        cases: 16,
+        seed: 0xDAC95,
+        ..Config::default()
+    };
+    if let Err(cex) = forall(
+        &config,
+        law.name,
+        |rng| SimCase::generate(rng, 6),
+        |case| (law.run)(case),
+    ) {
+        panic!(
+            "law `{}` violated on case {} (seed {:#x}), shrunk in {} step(s): {}\n\
+             reproducer:\n{}",
+            cex.law,
+            cex.case_index,
+            cex.case_seed,
+            cex.shrink_steps,
+            cex.message,
+            cex.shrunk.reproducer()
+        );
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn oracle_agreement() {
+    run_law("oracle-agreement");
+}
 
-    /// The three symbolic engines agree with exhaustive initial-state
-    /// enumeration on every collapsed fault — the central correctness
-    /// property of the reproduction.
-    #[test]
-    fn symbolic_strategies_match_exhaustive_oracle(
-        netlist in arb_circuit(),
-        seed in any::<u64>(),
-        len in 2usize..10,
-    ) {
-        let seq = TestSequence::random(&netlist, len, seed);
-        let faults = FaultList::collapsed(&netlist);
-        let good = ResponseMatrix::simulate(&netlist, &seq, None);
-        let mut oracle = Vec::new();
-        for f in faults.iter() {
-            let bad = ResponseMatrix::simulate(&netlist, &seq, Some(*f));
-            oracle.push(verdict_from(&good, &bad, seq.len(), netlist.num_outputs()));
-        }
-        for strategy in Obs::ALL {
-            let outcome = SymbolicFaultSim::new(&netlist, strategy)
-                .run(&seq, faults.iter().cloned())
-                .unwrap();
-            for (r, v) in outcome.results.iter().zip(&oracle) {
-                let expect = match strategy {
-                    Obs::Sot => v.sot,
-                    Obs::Rmot => v.rmot,
-                    Obs::Mot => v.mot,
-                };
-                prop_assert_eq!(
-                    r.detection.is_some(),
-                    expect,
-                    "{} disagrees on {}",
-                    strategy,
-                    r.fault.display(&netlist)
-                );
-            }
-        }
-    }
+#[test]
+fn strategy_containment() {
+    run_law("strategy-containment");
+}
 
-    /// `ID_X-red` never flags a fault the three-valued simulator detects.
-    #[test]
-    fn xred_is_sound(
-        netlist in arb_circuit(),
-        seed in any::<u64>(),
-        len in 1usize..30,
-    ) {
-        let seq = TestSequence::random(&netlist, len, seed);
-        let faults = FaultList::complete(&netlist);
-        let analysis = XRedAnalysis::analyze(&netlist, &seq);
-        let (red, _) = analysis.partition(faults.iter().cloned());
-        let outcome = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
-        let detected: std::collections::HashSet<_> = outcome.detected_faults().collect();
-        for f in red {
-            prop_assert!(!detected.contains(&f), "{} flagged but detected", f.display(&netlist));
-        }
-    }
+#[test]
+fn hybrid_matches_symbolic() {
+    run_law("hybrid-matches-symbolic");
+}
 
-    /// Three-valued detection is a lower bound of symbolic SOT, which is a
-    /// lower bound of rMOT, which is a lower bound of MOT — per fault.
-    #[test]
-    fn detection_hierarchy(
-        netlist in arb_circuit(),
-        seed in any::<u64>(),
-        len in 2usize..12,
-    ) {
-        let seq = TestSequence::random(&netlist, len, seed);
-        let faults = FaultList::collapsed(&netlist);
-        let three = FaultSim3::run(&netlist, &seq, faults.iter().cloned());
-        let mut prev: Vec<bool> = three.results.iter().map(|r| r.detection.is_some()).collect();
-        for strategy in Obs::ALL {
-            let outcome = SymbolicFaultSim::new(&netlist, strategy)
-                .run(&seq, faults.iter().cloned())
-                .unwrap();
-            let cur: Vec<bool> = outcome.results.iter().map(|r| r.detection.is_some()).collect();
-            for (i, (&p, &c)) in prev.iter().zip(&cur).enumerate() {
-                prop_assert!(
-                    !p || c,
-                    "{} lost fault {} of the weaker engine",
-                    strategy,
-                    faults.as_slice()[i].display(&netlist)
-                );
-            }
-            prev = cur;
-        }
-    }
+#[test]
+fn jobs_invariance() {
+    run_law("jobs-invariance");
+}
 
-    /// `.bench` writer/parser round-trip preserves structure for arbitrary
-    /// generated circuits.
-    #[test]
-    fn bench_round_trip(netlist in arb_circuit()) {
-        let text = to_bench(&netlist);
-        let again = parse_bench(netlist.name(), &text).unwrap();
-        prop_assert_eq!(again.num_inputs(), netlist.num_inputs());
-        prop_assert_eq!(again.num_outputs(), netlist.num_outputs());
-        prop_assert_eq!(again.num_dffs(), netlist.num_dffs());
-        prop_assert_eq!(again.num_gates(), netlist.num_gates());
-        // And the second round-trip is a fixpoint.
-        prop_assert_eq!(to_bench(&again), text);
-    }
+#[test]
+fn reorder_invariance() {
+    run_law("reorder-invariance");
+}
 
-    /// The symbolic true-value simulator refines the three-valued one:
-    /// wherever V3 knows a value, the BDD is that constant.
-    #[test]
-    fn symbolic_refines_three_valued(
-        netlist in arb_circuit(),
-        seed in any::<u64>(),
-        len in 1usize..12,
-    ) {
-        let seq = TestSequence::random(&netlist, len, seed);
-        let mut sym = motsim::symbolic::SymbolicTrueSim::new(&netlist);
-        let mut v3 = motsim::sim3::TrueSim::new(&netlist);
-        for v in &seq {
-            sym.step(v).unwrap();
-            v3.step(v);
-            for id in netlist.net_ids() {
-                if let Some(b) = v3.value(id).to_bool() {
-                    prop_assert_eq!(sym.values()[id.index()].const_value(), Some(b));
-                }
-            }
-        }
-    }
+#[test]
+fn lemma1_rename_invariance() {
+    run_law("lemma1-rename-invariance");
+}
+
+#[test]
+fn bench_round_trip() {
+    run_law("bench-round-trip");
+}
+
+#[test]
+fn xred_sound() {
+    run_law("xred-sound");
+}
+
+#[test]
+fn symbolic_refines_sim3() {
+    run_law("symbolic-refines-sim3");
+}
+
+/// End-to-end shrinker demonstration: a test-only engine with one flipped
+/// verdict is caught by the harness and the failing case is shrunk to a
+/// minimal reproducer — at most 8 gates and 4 frames.
+#[test]
+fn injected_bug_is_caught_and_shrunk() {
+    let config = Config {
+        cases: 8,
+        seed: 1,
+        ..Config::default()
+    };
+    let cex = forall(
+        &config,
+        "flip-engine-matches-sim3",
+        |rng| SimCase::generate(rng, 6),
+        motsim_check::demo::flipped_engine_matches_sim3,
+    )
+    .expect_err("the verdict-flipping engine must be caught");
+    assert_eq!(cex.case_index, 0, "the very first case must already fail");
+    assert!(cex.shrink_steps > 0, "shrinking must make progress");
+    assert!(
+        cex.shrunk.netlist.num_gates() <= 8,
+        "reproducer still has {} gates:\n{}",
+        cex.shrunk.netlist.num_gates(),
+        cex.shrunk.reproducer()
+    );
+    assert!(
+        cex.shrunk.seq.len() <= 4,
+        "reproducer still has {} frames:\n{}",
+        cex.shrunk.seq.len(),
+        cex.shrunk.reproducer()
+    );
 }
